@@ -1,0 +1,118 @@
+// Shared plumbing for the experiment-reproduction benches: plan with every
+// scheme, serve the workload, print aligned table rows.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/planner.h"
+#include "hw/paper_clusters.h"
+#include "model/registry.h"
+#include "quality/quality_model.h"
+#include "runtime/engine.h"
+#include "workload/profile.h"
+
+namespace sq::bench {
+
+inline const std::vector<sq::hw::Bitwidth>& all_bits() {
+  static const std::vector<sq::hw::Bitwidth> bits = {
+      sq::hw::Bitwidth::kFp16, sq::hw::Bitwidth::kInt8, sq::hw::Bitwidth::kInt4,
+      sq::hw::Bitwidth::kInt3};
+  return bits;
+}
+
+/// Bundles everything needed to plan and serve one (cluster, model,
+/// workload) experiment cell.
+struct Cell {
+  sq::model::LlmSpec model;
+  sq::hw::Cluster cluster;
+  std::vector<sq::workload::Request> requests;
+  sq::sim::BatchWorkload planning;
+  sq::cost::LatencyCostModel latency;
+  sq::quality::QualityModel quality;
+  sq::core::Planner planner;
+  std::uint64_t serve_batch;
+
+  Cell(sq::model::ModelId id, int cluster_id,
+       const std::vector<sq::workload::Request>& reqs, std::uint64_t batch,
+       std::uint64_t chunk = 2048)
+      : model(sq::model::spec(id)),
+        cluster(sq::hw::paper_cluster(cluster_id)),
+        requests(reqs),
+        planning(sq::workload::make_profile(reqs, batch, chunk).planning_batch(model)),
+        latency(model),
+        quality(model, all_bits()),
+        planner((sq::core::Planner::profile_all(latency, cluster, all_bits()),
+                 model),
+                cluster, planning, latency, quality),
+        serve_batch(batch) {}
+
+  /// Measured (simulated) throughput of a plan over the cell's requests;
+  /// 0 when infeasible (OOM).
+  double serve(const sq::sim::ExecutionPlan& plan,
+               sq::runtime::Backend backend = sq::runtime::Backend::kVllmStyle) const {
+    const sq::runtime::OfflineEngine eng(cluster, model, plan, backend);
+    const auto stats = eng.serve_requests(requests, serve_batch);
+    return stats.feasible ? stats.throughput_tok_s : 0.0;
+  }
+};
+
+/// Default planner knobs used across benches (fast enough for the sweep;
+/// Table VI raises the limits deliberately).
+inline sq::core::PlannerConfig bench_config() {
+  sq::core::PlannerConfig cfg;
+  cfg.ilp_time_limit_s = 3.0;
+  cfg.max_microbatch_pairs = 2;
+  cfg.max_topologies = 8;
+  cfg.group_size = 8;
+  return cfg;
+}
+
+/// Fig. 9 / Fig. 10 protocol: Uniform first, then SplitQuant constrained to
+/// at least Uniform's quality (Sec. VI-C), theta neutralized.
+struct SchemeRow {
+  double uniform = 0.0;
+  double het = 0.0;
+  double splitquant = 0.0;
+  bool uniform_oom = false;
+  bool het_oom = false;
+  double sq_ppl = 0.0, uni_ppl = 0.0;
+  double solve_s = 0.0;
+};
+
+inline SchemeRow run_schemes(const Cell& cell, sq::core::PlannerConfig cfg,
+                             sq::runtime::Backend backend) {
+  SchemeRow row;
+  const auto uni = cell.planner.plan_uniform(cfg);
+  const auto het = cell.planner.plan_het(cfg);
+  sq::core::PlannerConfig scfg = cfg;
+  scfg.theta = 0.0;
+  if (uni.feasible) {
+    scfg.max_ppl_delta = uni.total_omega;
+  } else if (het.feasible) {
+    scfg.max_ppl_delta = het.total_omega;
+  }
+  const auto sqr = cell.planner.plan(scfg);
+  row.uniform_oom = !uni.feasible;
+  row.het_oom = !het.feasible;
+  if (uni.feasible) {
+    row.uniform = cell.serve(uni.plan, backend);
+    row.uni_ppl = uni.est_ppl;
+  }
+  if (het.feasible) row.het = cell.serve(het.plan, backend);
+  if (sqr.feasible) {
+    row.splitquant = cell.serve(sqr.plan, backend);
+    row.sq_ppl = sqr.est_ppl;
+    row.solve_s = sqr.solve_seconds;
+  }
+  return row;
+}
+
+/// printf a separator line.
+inline void rule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace sq::bench

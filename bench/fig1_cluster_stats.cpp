@@ -1,0 +1,34 @@
+// Fig. 1 reproduction: production-fleet GPU mix and per-type monthly
+// utilization — the heterogeneity motivation.  (a) share of each GPU type;
+// (b) mean monthly utilization per type.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "hw/fleet.h"
+
+int main() {
+  const auto stats = sq::hw::production_fleet_stats(/*months=*/6, /*seed=*/2025);
+
+  std::printf("Fig. 1(a): GPU-type distribution in the production fleet\n");
+  sq::bench::rule(60);
+  std::printf("%-12s %10s\n", "GPU", "share");
+  for (const auto& e : stats.entries) {
+    std::printf("%-12s %9.1f%%\n", sq::hw::to_string(e.type), 100.0 * e.fleet_share);
+  }
+
+  std::printf("\nFig. 1(b): monthly average utilization per GPU type\n");
+  sq::bench::rule(60);
+  std::printf("%-12s", "GPU");
+  for (int mth = 0; mth < stats.months; ++mth) std::printf("   M%-3d", mth + 1);
+  std::printf("%8s\n", "mean");
+  for (const auto& e : stats.entries) {
+    std::printf("%-12s", sq::hw::to_string(e.type));
+    for (const double u : e.monthly_utilization) std::printf(" %5.1f%%", 100.0 * u);
+    std::printf(" %6.1f%%\n", 100.0 * sq::hw::mean_utilization(e));
+  }
+
+  std::printf(
+      "\nShape check: A100 share smallest, utilization highest; lower-tier\n"
+      "GPUs (T4/P100) form the idle capacity SplitQuant targets.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Fig. 8 reproduction: fidelity of the memory and latency cost models
+// against the "real system" (the ground-truth simulator + engine
+// accounting).  Paper protocol: memory over BLOOM-560M/1B7 and
+// OPT-13/30/66B with random shapes; latency over 50 unseen workloads per
+// device (batch 3/5/7, past sequence 384/768, random precisions).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "cost/memory_model.h"
+#include "sim/memory.h"
+#include "tensor/rng.h"
+
+namespace {
+
+using sq::hw::Bitwidth;
+
+Bitwidth random_bit(sq::tensor::Rng& rng) {
+  return sq::bench::all_bits()[rng.below(sq::bench::all_bits().size())];
+}
+
+void memory_fidelity() {
+  std::printf("Fig. 8 (left): memory cost model vs engine accounting\n");
+  sq::bench::rule(80);
+  std::printf("%-12s %14s %14s %10s\n", "model", "predicted(GB)", "actual(GB)",
+              "error");
+  const auto cluster = sq::hw::paper_cluster(9);
+  sq::tensor::Rng rng(5);
+  double worst = 0.0;
+  for (const auto id : {sq::model::ModelId::kBloom560M, sq::model::ModelId::kBloom1B7,
+                        sq::model::ModelId::kOpt13B, sq::model::ModelId::kOpt30B,
+                        sq::model::ModelId::kOpt66B}) {
+    const auto m = sq::model::spec(id);
+    const sq::cost::MemoryCostModel mm(m);
+    // Random shape per the paper: prompt U[128,512], batch {2,4,8},
+    // generation U[100,200], random per-layer precisions.
+    sq::sim::BatchWorkload w;
+    w.prompt_len = static_cast<std::uint64_t>(rng.range(128, 512));
+    w.batch_size = static_cast<std::uint64_t>(2 << rng.below(3));
+    w.gen_tokens = static_cast<std::uint64_t>(rng.range(100, 200));
+    sq::sim::ExecutionPlan plan;
+    const int half = m.n_layers / 2;
+    plan.stages.push_back({{0}, 0, half});
+    plan.stages.push_back({{1}, half, m.n_layers});
+    plan.layer_bits.resize(static_cast<std::size_t>(m.n_layers));
+    for (auto& b : plan.layer_bits) b = random_bit(rng);
+    plan.prefill_microbatch = 2;
+    plan.decode_microbatch = w.batch_size;
+
+    const auto pred = mm.plan_bytes(plan, w);
+    const auto real = sq::sim::plan_memory(cluster, m, plan, w);
+    double pred_total = 0.0, real_total = 0.0;
+    for (std::size_t d = 0; d < pred.size(); ++d) {
+      pred_total += static_cast<double>(pred[d]);
+      real_total += static_cast<double>(real.devices[d].total());
+    }
+    const double err = std::abs(pred_total - real_total) / real_total;
+    worst = std::max(worst, err);
+    std::printf("%-12s %14.3f %14.3f %9.2f%%\n", m.name.c_str(), pred_total / 1e9,
+                real_total / 1e9, 100.0 * err);
+  }
+  std::printf("worst-case memory error: %.2f%% (paper: 'almost negligible')\n\n",
+              100.0 * worst);
+}
+
+void latency_fidelity() {
+  std::printf("Fig. 8 (right): latency cost model on 50 unseen workloads per device\n");
+  sq::bench::rule(80);
+  std::printf("%-10s %8s %12s %12s\n", "device", "samples", "mean err", "max err");
+  const auto m = sq::model::spec(sq::model::ModelId::kOpt30B);
+  const sq::sim::KernelModel gt({.ground_truth = true, .seed = 11});
+  double overall = 0.0;
+  int overall_n = 0;
+  for (const auto type : {sq::hw::GpuType::kT4, sq::hw::GpuType::kP100,
+                          sq::hw::GpuType::kV100, sq::hw::GpuType::kA100_40G}) {
+    const auto g = sq::hw::gpu_spec(type);
+    sq::cost::LatencyCostModel lat(m);
+    lat.profile_device(g, sq::bench::all_bits());
+    sq::tensor::Rng rng(7 + static_cast<std::uint64_t>(type));
+    double sum = 0.0, mx = 0.0;
+    int n = 0;
+    while (n < 50) {
+      // Paper protocol: batches 3/5/7, past sequences 384/768 (+ extra
+      // shapes), random precisions; both phases.
+      const std::uint64_t v = 3 + 2 * rng.below(3);
+      const std::uint64_t ctx = rng.bernoulli(0.5) ? 384 : 768;
+      const Bitwidth b = random_bit(rng);
+      const bool prefill = rng.bernoulli(0.4);
+      const auto phase = prefill ? sq::model::Phase::kPrefill : sq::model::Phase::kDecode;
+      const std::uint64_t s = prefill ? 64 + rng.below(1400) : ctx;
+      const double pred = lat.predict_layer_us(type, phase, v, s, b);
+      const double act = gt.layer_time_us(g, m, phase, v, s, b);
+      const double err = std::abs(pred - act) / act;
+      sum += err;
+      mx = std::max(mx, err);
+      ++n;
+    }
+    overall += sum;
+    overall_n += n;
+    std::printf("%-10s %8d %11.2f%% %11.2f%%\n", g.name.c_str(), n, 100.0 * sum / n,
+                100.0 * mx);
+  }
+  std::printf("overall mean latency error: %.2f%% (paper: < 6%%)\n",
+              100.0 * overall / overall_n);
+}
+
+}  // namespace
+
+int main() {
+  memory_fidelity();
+  latency_fidelity();
+  return 0;
+}

@@ -1,0 +1,209 @@
+// Command-line front end for the assigner: pick a model, a paper cluster
+// and a workload, get a plan and (optionally) a simulated serving run.
+//
+//   splitquant_cli --model OPT-30B --cluster 5 --workload cnn
+//                  --theta 10 --scheme splitquant --serve
+//
+// Flags:
+//   --model <name>      registry name (default OPT-30B); see --list-models
+//   --cluster <1..10>   Table III cluster id (default 5)
+//   --workload <cnn|loogle|sharegpt>   (default cnn)
+//   --scheme <splitquant|uniform|het|adabits>  (default splitquant)
+//   --theta <float>     quality scalar (default 10)
+//   --batch <n>         max concurrent requests (default 128)
+//   --requests <n>      requests to sample/serve (default 256)
+//   --custom-backend    enable INT3 / custom-backend efficiency
+//   --heuristic         bitwidth transfer instead of the ILP
+//   --serve             run the serving simulation after planning
+//   --save-plan <file>  write the chosen plan to a file
+//   --load-plan <file>  skip planning, execute a previously saved plan
+//   --list-models       print the model registry and exit
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/planner.h"
+#include "sim/plan_io.h"
+#include "hw/paper_clusters.h"
+#include "model/registry.h"
+#include "quality/quality_model.h"
+#include "runtime/engine.h"
+#include "workload/profile.h"
+
+namespace {
+
+struct Args {
+  std::string model = "OPT-30B";
+  int cluster = 5;
+  std::string workload = "cnn";
+  std::string scheme = "splitquant";
+  double theta = 10.0;
+  std::uint64_t batch = 128;
+  int requests = 256;
+  bool custom_backend = false;
+  bool heuristic = false;
+  bool serve = false;
+  bool list_models = false;
+  std::string save_plan;
+  std::string load_plan;
+};
+
+bool parse(int argc, char** argv, Args* out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--model") out->model = next("--model");
+    else if (a == "--cluster") out->cluster = std::atoi(next("--cluster"));
+    else if (a == "--workload") out->workload = next("--workload");
+    else if (a == "--scheme") out->scheme = next("--scheme");
+    else if (a == "--theta") out->theta = std::atof(next("--theta"));
+    else if (a == "--batch") out->batch = std::strtoull(next("--batch"), nullptr, 10);
+    else if (a == "--requests") out->requests = std::atoi(next("--requests"));
+    else if (a == "--custom-backend") out->custom_backend = true;
+    else if (a == "--heuristic") out->heuristic = true;
+    else if (a == "--serve") out->serve = true;
+    else if (a == "--save-plan") out->save_plan = next("--save-plan");
+    else if (a == "--load-plan") out->load_plan = next("--load-plan");
+    else if (a == "--list-models") out->list_models = true;
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+sq::workload::Dataset dataset_of(const std::string& name) {
+  if (name == "loogle") return sq::workload::Dataset::kLoogle;
+  if (name == "sharegpt") return sq::workload::Dataset::kShareGpt;
+  return sq::workload::Dataset::kCnnDailyMail;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sq;
+  Args args;
+  if (!parse(argc, argv, &args)) return 2;
+
+  if (args.list_models) {
+    for (const auto id : model::all_models()) {
+      const auto m = model::spec(id);
+      std::printf("%-26s %6.1fB params, %3d layers, ctx %llu\n", m.name.c_str(),
+                  static_cast<double>(m.total_params()) / 1e9, m.n_layers,
+                  static_cast<unsigned long long>(m.pos_s));
+    }
+    return 0;
+  }
+
+  model::LlmSpec m;
+  try {
+    m = model::spec_by_name(args.model);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s (try --list-models)\n", e.what());
+    return 2;
+  }
+  if (args.cluster < 1 || args.cluster > hw::kPaperClusterCount) {
+    std::fprintf(stderr, "--cluster must be 1..10\n");
+    return 2;
+  }
+  const hw::Cluster cluster = hw::paper_cluster(args.cluster);
+
+  const auto requests =
+      workload::sample(dataset_of(args.workload), args.requests, 1234);
+  const auto profile = workload::make_profile(requests, args.batch);
+
+  const std::vector<hw::Bitwidth> bits = {hw::Bitwidth::kFp16, hw::Bitwidth::kInt8,
+                                          hw::Bitwidth::kInt4, hw::Bitwidth::kInt3};
+  cost::LatencyCostModel latency(m);
+  core::Planner::profile_all(latency, cluster, bits);
+  const quality::QualityModel quality(m, bits);
+  const core::Planner planner(m, cluster, profile.planning_batch(m), latency,
+                              quality);
+
+  core::PlannerConfig cfg;
+  cfg.theta = args.theta;
+  cfg.custom_backend = args.custom_backend;
+  cfg.use_heuristic = args.heuristic;
+
+  core::PlanResult r;
+  if (!args.load_plan.empty()) {
+    std::ifstream in(args.load_plan);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", args.load_plan.c_str());
+      return 2;
+    }
+    const sim::LoadResult loaded = sim::load_plan(in);
+    if (!loaded.ok) {
+      std::fprintf(stderr, "bad plan file: %s\n", loaded.error.c_str());
+      return 2;
+    }
+    const std::string err = loaded.plan.validate(m, cluster);
+    if (!err.empty()) {
+      std::fprintf(stderr, "plan does not fit this model/cluster: %s\n",
+                   err.c_str());
+      return 2;
+    }
+    r.feasible = true;
+    r.plan = loaded.plan;
+    r.planned_batch = args.batch;
+    r.est_ppl = quality.estimate(r.plan.layer_bits).ppl;
+    r.est_accuracy = quality.estimate(r.plan.layer_bits).accuracy;
+    r.topology = "(loaded)";
+  } else if (args.scheme == "uniform") r = planner.plan_uniform(cfg);
+  else if (args.scheme == "het") r = planner.plan_het(cfg);
+  else if (args.scheme == "adabits") r = planner.plan_adabits(cfg);
+  else r = planner.plan(cfg);
+
+  if (r.feasible && !args.save_plan.empty()) {
+    std::ofstream outf(args.save_plan);
+    if (!outf || !sim::save_plan(r.plan, outf)) {
+      std::fprintf(stderr, "failed to write %s\n", args.save_plan.c_str());
+      return 2;
+    }
+    std::printf("saved:    %s\n", args.save_plan.c_str());
+  }
+
+  std::printf("model:    %s on %s\n", m.name.c_str(), cluster.summary().c_str());
+  std::printf("workload: %s, %d requests, batch %llu (prompt p90 %.0f, out mean %.0f)\n",
+              args.workload.c_str(), args.requests,
+              static_cast<unsigned long long>(args.batch), profile.p90_prompt,
+              profile.mean_output);
+  if (!r.feasible) {
+    std::printf("result:   INFEASIBLE — %s\n", r.failure.c_str());
+    return 1;
+  }
+  std::printf("scheme:   %s (solve %.2fs, %d ILP solves, %d nodes)\n",
+              r.plan.scheme.c_str(), r.solve_seconds, r.ilp_solves, r.ilp_nodes);
+  std::printf("plan:     %s\n", r.plan.summary(cluster).c_str());
+  std::printf("topology: %s, planned concurrency %llu\n", r.topology.c_str(),
+              static_cast<unsigned long long>(r.planned_batch));
+  std::printf("quality:  est PPL %.3f (base %.3f), est accuracy %.1f%%\n", r.est_ppl,
+              quality.base_ppl(), r.est_accuracy);
+
+  if (args.serve) {
+    const runtime::OfflineEngine engine(
+        cluster, m, r.plan,
+        args.custom_backend ? runtime::Backend::kCustom
+                            : runtime::Backend::kVllmStyle);
+    const auto stats = engine.serve_requests(requests, args.batch);
+    if (!stats.feasible) {
+      std::printf("serve:    FAILED — %s\n", stats.failure.c_str());
+      return 1;
+    }
+    std::printf("serve:    %.1f tok/s (%.0f tokens in %.1fs, %llu waves, "
+                "%.0f%% idle)\n",
+                stats.throughput_tok_s, stats.output_tokens, stats.total_seconds,
+                static_cast<unsigned long long>(stats.waves),
+                100.0 * stats.mean_bubble);
+  }
+  return 0;
+}

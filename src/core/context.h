@@ -1,0 +1,132 @@
+// PlanContext: the prepared data behind one ILP instance — per
+// (layer-group, stage, bitwidth) latency and memory tables, communication
+// bounds, master-stage constants, and the scaled quality indicator.
+// Shared by the ILP formulation, the greedy incumbent generator, the
+// adabits/bitwidth-transfer heuristics, and the baselines, so all of them
+// price candidate plans identically.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cost/latency_model.h"
+#include "core/topology.h"
+#include "hw/cluster.h"
+#include "model/llm.h"
+#include "quant/indicator.h"
+#include "sim/plan.h"
+
+namespace sq::core {
+
+using sq::hw::Bitwidth;
+
+/// Inputs that stay fixed across topologies/micro-batch pairs.
+struct PlanInputs {
+  const sq::model::LlmSpec* model = nullptr;
+  const sq::hw::Cluster* cluster = nullptr;
+  const sq::cost::LatencyCostModel* latency = nullptr;
+  sq::sim::BatchWorkload workload;            ///< Planning batch shape.
+  std::vector<Bitwidth> bits;                 ///< Candidate bitwidths.
+  Bitwidth kv_bits = Bitwidth::kFp16;
+  /// Indicator values in PPL units: omega_ppl[layer][bit index].
+  std::vector<std::vector<double>> omega_ppl;
+  double theta = 10.0;          ///< Quality scalar of objective (4).
+  double omega_budget = -1.0;   ///< Max total omega (PPL units); <0 = off.
+};
+
+/// Evaluation of a concrete (device, bitwidth) assignment of layer groups.
+struct AssignmentEval {
+  bool feasible = false;       ///< Memory + structure constraints hold.
+  double latency_s = 0.0;      ///< Pipeline batch latency, objective (4) part 1.
+  double omega = 0.0;          ///< Total quality penalty (PPL units).
+  double objective = 0.0;      ///< latency + theta * omega.
+  double t_pre_max = 0.0;      ///< Straggler prefill stage time, seconds.
+  double t_dec_max = 0.0;      ///< Straggler decode step time, seconds.
+};
+
+/// Prepared tables for one (topology, eta, xi) choice.
+class PlanContext {
+ public:
+  /// Build tables.  `group_size` merges that many consecutive decoder
+  /// layers into one decision group (paper Sec. VI-F); the last group may
+  /// be smaller.  Requires the latency model to have profiles for every
+  /// (device type, bit, TP degree) in play.
+  PlanContext(const PlanInputs& in, Topology topo, std::uint64_t eta,
+              std::uint64_t xi, int group_size);
+
+  // ---- Dimensions ----
+  int num_groups() const { return static_cast<int>(groups_.size()); }
+  int num_stages() const { return static_cast<int>(topo_.groups.size()); }
+  int num_bits() const { return static_cast<int>(in_->bits.size()); }
+
+  /// Layer range [first, last) of group g.
+  std::pair<int, int> group_range(int g) const { return groups_[static_cast<std::size_t>(g)]; }
+
+  // ---- Tables (seconds / bytes / PPL units) ----
+  /// Prefill time of group g on stage j at bit index bi (whole micro-batch,
+  /// all chunks), seconds.
+  double l_pre(int g, int j, int bi) const { return l_pre_[idx(g, j, bi)]; }
+  /// Per-token decode time of group g on stage j at bit index bi, seconds.
+  double l_dec(int g, int j, int bi) const { return l_dec_[idx(g, j, bi)]; }
+  /// Memory of group g on stage j at bit index bi (weights + KV), bytes,
+  /// before TP division (budgets are pre-multiplied instead).
+  double mem(int g, int j, int bi) const { return mem_[idx(g, j, bi)]; }
+  /// Effective memory budget of stage j, bytes.
+  double mem_budget(int j) const { return m_eff_[static_cast<std::size_t>(j)]; }
+  /// Master-stage constant added to stage j's prefill/decode time, seconds.
+  double const_pre(int j) const { return c_pre_[static_cast<std::size_t>(j)]; }
+  double const_dec(int j) const { return c_dec_[static_cast<std::size_t>(j)]; }
+  /// Communication lower bound on the straggler time after stage j, seconds.
+  double comm_pre(int j) const { return comm_pre_[static_cast<std::size_t>(j)]; }
+  double comm_dec(int j) const { return comm_dec_[static_cast<std::size_t>(j)]; }
+  /// Quality penalty of group g at bit index bi (PPL units).
+  double omega(int g, int bi) const { return omega_[static_cast<std::size_t>(g)][static_cast<std::size_t>(bi)]; }
+
+  /// Objective coefficients of the straggler variables: (mu_pre - 1) and
+  /// (mu_dec * (n-1) - 1).
+  double t_pre_coeff() const { return t_pre_coeff_; }
+  double t_dec_coeff() const { return t_dec_coeff_; }
+
+  /// The inputs / topology / micro-batches this context was built for.
+  const PlanInputs& inputs() const { return *in_; }
+  const Topology& topology() const { return topo_; }
+  std::uint64_t eta() const { return eta_; }
+  std::uint64_t xi() const { return xi_; }
+
+  /// Price a concrete assignment: group_stage[g] in [0, num_stages),
+  /// non-decreasing; group_bit[g] in [0, num_bits).  Checks memory,
+  /// monotonicity and the quality budget.
+  AssignmentEval evaluate(std::span<const int> group_stage,
+                          std::span<const int> group_bit) const;
+
+  /// Materialize an ExecutionPlan from an assignment (stages with zero
+  /// groups are dropped; per-layer bits expanded from groups).
+  sq::sim::ExecutionPlan to_plan(std::span<const int> group_stage,
+                                 std::span<const int> group_bit,
+                                 const std::string& scheme) const;
+
+ private:
+  std::size_t idx(int g, int j, int bi) const {
+    return (static_cast<std::size_t>(g) * static_cast<std::size_t>(num_stages()) +
+            static_cast<std::size_t>(j)) *
+               static_cast<std::size_t>(num_bits()) +
+           static_cast<std::size_t>(bi);
+  }
+
+  const PlanInputs* in_;
+  Topology topo_;
+  std::uint64_t eta_, xi_;
+  std::vector<std::pair<int, int>> groups_;
+  std::vector<double> l_pre_, l_dec_, mem_;
+  std::vector<double> m_eff_, c_pre_, c_dec_, comm_pre_, comm_dec_;
+  std::vector<std::vector<double>> omega_;
+  double t_pre_coeff_ = 0.0, t_dec_coeff_ = 0.0;
+};
+
+/// Uniform layer grouping: `group_size` consecutive layers per group
+/// (0 = auto: the smallest size giving at most 16 groups).
+std::vector<std::pair<int, int>> make_groups(int n_layers, int group_size);
+
+}  // namespace sq::core

@@ -1,0 +1,374 @@
+#include "core/heuristics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace sq::core {
+
+namespace {
+
+/// Weighted per-group cost of running one group on stage j at bit bi:
+/// the straggler-sensitive part of objective (4).
+double group_cost(const PlanContext& ctx, int j, int bi) {
+  return ctx.t_pre_coeff() * ctx.l_pre(0, j, bi) +
+         ctx.t_dec_coeff() * ctx.l_dec(0, j, bi);
+}
+
+/// Local search over single-group bit changes; returns improved plan.
+HeuristicPlan refine_bits(const PlanContext& ctx, HeuristicPlan plan) {
+  const int G = ctx.num_groups(), B = ctx.num_bits();
+  bool improved = true;
+  int guard = 0;
+  while (improved && ++guard < 4 * G * B) {
+    improved = false;
+    for (int g = 0; g < G; ++g) {
+      int cur = plan.group_bit[static_cast<std::size_t>(g)];
+      for (int bi = 0; bi < B; ++bi) {
+        if (bi == cur) continue;
+        plan.group_bit[static_cast<std::size_t>(g)] = bi;
+        const auto ev = ctx.evaluate(plan.group_stage, plan.group_bit);
+        if (ev.feasible && ev.objective < plan.eval.objective - 1e-12) {
+          plan.eval = ev;
+          cur = bi;
+          improved = true;
+        } else {
+          plan.group_bit[static_cast<std::size_t>(g)] = cur;
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+std::vector<int> balanced_partition(const PlanContext& ctx, int bi,
+                                    PartitionMetric metric) {
+  const int G = ctx.num_groups(), J = ctx.num_stages();
+  std::vector<double> t(static_cast<std::size_t>(J));
+  std::vector<int> cap(static_cast<std::size_t>(J));
+  long total_cap = 0;
+  for (int j = 0; j < J; ++j) {
+    const double weight =
+        metric == PartitionMetric::kPrefillOnly
+            ? ctx.l_pre(0, j, bi)
+            : group_cost(ctx, j, bi) + ctx.l_pre(0, j, bi) + ctx.l_dec(0, j, bi);
+    t[static_cast<std::size_t>(j)] = std::max(1e-12, weight);
+    const double per_group = ctx.mem(0, j, bi);
+    cap[static_cast<std::size_t>(j)] =
+        per_group > 0 ? static_cast<int>(ctx.mem_budget(j) / per_group) : G;
+    cap[static_cast<std::size_t>(j)] = std::min(cap[static_cast<std::size_t>(j)], G);
+    total_cap += cap[static_cast<std::size_t>(j)];
+  }
+  if (total_cap < G) return {};
+
+  // Binary search the smallest straggler time T such that
+  // sum_j min(cap_j, floor(T / t_j)) >= G.
+  double lo = 0.0, hi = 0.0;
+  for (int j = 0; j < J; ++j) {
+    hi = std::max(hi, t[static_cast<std::size_t>(j)] * static_cast<double>(G));
+  }
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    long fit = 0;
+    for (int j = 0; j < J; ++j) {
+      fit += std::min<long>(cap[static_cast<std::size_t>(j)],
+                            static_cast<long>(mid / t[static_cast<std::size_t>(j)]));
+    }
+    (fit >= G ? hi : lo) = mid;
+  }
+  std::vector<int> counts(static_cast<std::size_t>(J));
+  int assigned = 0;
+  for (int j = 0; j < J; ++j) {
+    counts[static_cast<std::size_t>(j)] =
+        static_cast<int>(std::min<long>(cap[static_cast<std::size_t>(j)],
+                                        static_cast<long>(hi / t[static_cast<std::size_t>(j)])));
+    assigned += counts[static_cast<std::size_t>(j)];
+  }
+  // Repair to exactly G groups while keeping the straggler small: trim
+  // from the most-loaded stage, add to the stage whose load grows least.
+  while (assigned > G) {
+    int worst = -1;
+    double worst_load = -1.0;
+    for (int j = 0; j < J; ++j) {
+      if (counts[static_cast<std::size_t>(j)] == 0) continue;
+      const double load =
+          counts[static_cast<std::size_t>(j)] * t[static_cast<std::size_t>(j)];
+      if (load > worst_load) {
+        worst_load = load;
+        worst = j;
+      }
+    }
+    --counts[static_cast<std::size_t>(worst)];
+    --assigned;
+  }
+  while (assigned < G) {
+    int best = -1;
+    double best_load = std::numeric_limits<double>::infinity();
+    for (int j = 0; j < J; ++j) {
+      if (counts[static_cast<std::size_t>(j)] >= cap[static_cast<std::size_t>(j)]) continue;
+      const double load = (counts[static_cast<std::size_t>(j)] + 1) *
+                          t[static_cast<std::size_t>(j)];
+      if (load < best_load) {
+        best_load = load;
+        best = j;
+      }
+    }
+    if (best < 0) return {};
+    ++counts[static_cast<std::size_t>(best)];
+    ++assigned;
+  }
+  // Anchor: stage 0 must host group 0.
+  if (counts[0] == 0) {
+    int donor = 1;
+    while (donor < J && counts[static_cast<std::size_t>(donor)] == 0) ++donor;
+    if (donor == J) return {};
+    --counts[static_cast<std::size_t>(donor)];
+    ++counts[0];
+  }
+  std::vector<int> stage;
+  stage.reserve(static_cast<std::size_t>(G));
+  for (int j = 0; j < J; ++j) {
+    for (int k = 0; k < counts[static_cast<std::size_t>(j)]; ++k) stage.push_back(j);
+  }
+  return stage;
+}
+
+std::vector<int> even_partition(const PlanContext& ctx) {
+  const int G = ctx.num_groups(), J = ctx.num_stages();
+  std::vector<int> stage(static_cast<std::size_t>(G));
+  for (int g = 0; g < G; ++g) {
+    stage[static_cast<std::size_t>(g)] = std::min(J - 1, g * J / G);
+  }
+  return stage;
+}
+
+std::optional<HeuristicPlan> greedy_plan(const PlanContext& ctx) {
+  const int G = ctx.num_groups(), B = ctx.num_bits();
+  // Try uniform bitwidths from widest to narrowest (bit order given by the
+  // config; sort indices by width descending).
+  std::vector<int> order(static_cast<std::size_t>(B));
+  for (int i = 0; i < B; ++i) order[static_cast<std::size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return sq::hw::bits(ctx.inputs().bits[static_cast<std::size_t>(a)]) >
+           sq::hw::bits(ctx.inputs().bits[static_cast<std::size_t>(b)]);
+  });
+
+  std::optional<HeuristicPlan> best;
+  for (const int bi : order) {
+    std::vector<int> stage = balanced_partition(ctx, bi);
+    if (stage.empty()) continue;
+    HeuristicPlan plan;
+    plan.group_stage = std::move(stage);
+    plan.group_bit.assign(static_cast<std::size_t>(G), bi);
+    plan.eval = ctx.evaluate(plan.group_stage, plan.group_bit);
+    if (!plan.eval.feasible) continue;
+    plan = refine_bits(ctx, std::move(plan));
+    if (!best || plan.eval.objective < best->eval.objective) best = std::move(plan);
+  }
+  return best;
+}
+
+std::optional<HeuristicPlan> adabits_plan(const PlanContext& ctx) {
+  const int G = ctx.num_groups(), J = ctx.num_stages(), B = ctx.num_bits();
+
+  // Even partition (decoupled from quantization, per the ablation).
+  std::vector<int> stage = even_partition(ctx);
+
+  // Bit order from narrowest to widest.
+  std::vector<int> narrow_first(static_cast<std::size_t>(B));
+  for (int i = 0; i < B; ++i) narrow_first[static_cast<std::size_t>(i)] = i;
+  std::sort(narrow_first.begin(), narrow_first.end(), [&](int a, int b) {
+    return sq::hw::bits(ctx.inputs().bits[static_cast<std::size_t>(a)]) <
+           sq::hw::bits(ctx.inputs().bits[static_cast<std::size_t>(b)]);
+  });
+
+  // Start every group at the narrowest bit; check memory feasibility.
+  std::vector<int> bit(static_cast<std::size_t>(G), narrow_first.front());
+  std::vector<double> used(static_cast<std::size_t>(J), 0.0);
+  for (int g = 0; g < G; ++g) {
+    used[static_cast<std::size_t>(stage[static_cast<std::size_t>(g)])] +=
+        ctx.mem(g, stage[static_cast<std::size_t>(g)], bit[static_cast<std::size_t>(g)]);
+  }
+  for (int j = 0; j < J; ++j) {
+    if (used[static_cast<std::size_t>(j)] > ctx.mem_budget(j)) return std::nullopt;
+  }
+
+  // Greedy quality maximization: repeatedly take the single-step upgrade
+  // (to the next wider bit) with the best omega reduction per extra byte.
+  while (true) {
+    int best_g = -1, best_bi = -1;
+    double best_ratio = 0.0;
+    for (int g = 0; g < G; ++g) {
+      const int cur = bit[static_cast<std::size_t>(g)];
+      const int j = stage[static_cast<std::size_t>(g)];
+      // Next wider candidate.
+      int next = -1;
+      int cur_width = sq::hw::bits(ctx.inputs().bits[static_cast<std::size_t>(cur)]);
+      int best_width = std::numeric_limits<int>::max();
+      for (int bi = 0; bi < B; ++bi) {
+        const int wdt = sq::hw::bits(ctx.inputs().bits[static_cast<std::size_t>(bi)]);
+        if (wdt > cur_width && wdt < best_width) {
+          best_width = wdt;
+          next = bi;
+        }
+      }
+      if (next < 0) continue;
+      const double extra = ctx.mem(g, j, next) - ctx.mem(g, j, cur);
+      if (used[static_cast<std::size_t>(j)] + extra > ctx.mem_budget(j)) continue;
+      const double gain = ctx.omega(g, cur) - ctx.omega(g, next);
+      const double ratio = extra > 0.0 ? gain / extra : gain * 1e12;
+      if (gain > 0.0 && ratio > best_ratio) {
+        best_ratio = ratio;
+        best_g = g;
+        best_bi = next;
+      }
+    }
+    if (best_g < 0) break;
+    const int j = stage[static_cast<std::size_t>(best_g)];
+    used[static_cast<std::size_t>(j)] +=
+        ctx.mem(best_g, j, best_bi) - ctx.mem(best_g, j, bit[static_cast<std::size_t>(best_g)]);
+    bit[static_cast<std::size_t>(best_g)] = best_bi;
+  }
+
+  HeuristicPlan plan;
+  plan.group_stage = std::move(stage);
+  plan.group_bit = std::move(bit);
+  plan.eval = ctx.evaluate(plan.group_stage, plan.group_bit);
+  if (!plan.eval.feasible) return std::nullopt;
+  return plan;
+}
+
+HeuristicPlan bitwidth_transfer(const PlanContext& ctx, HeuristicPlan plan,
+                                int max_rounds) {
+  const int G = ctx.num_groups(), J = ctx.num_stages(), B = ctx.num_bits();
+  for (int round = 0; round < max_rounds; ++round) {
+    // Straggler stage: largest weighted contribution to the pipeline time.
+    std::vector<double> contrib(static_cast<std::size_t>(J), 0.0);
+    for (int g = 0; g < G; ++g) {
+      const int j = plan.group_stage[static_cast<std::size_t>(g)];
+      const int bi = plan.group_bit[static_cast<std::size_t>(g)];
+      contrib[static_cast<std::size_t>(j)] += group_cost(ctx, j, bi);
+    }
+    const int straggler = static_cast<int>(
+        std::max_element(contrib.begin(), contrib.end()) - contrib.begin());
+
+    HeuristicPlan best = plan;
+    bool improved = false;
+    auto consider = [&](HeuristicPlan& cand) {
+      cand.eval = ctx.evaluate(cand.group_stage, cand.group_bit);
+      if (cand.eval.feasible && cand.eval.objective < best.eval.objective - 1e-12) {
+        best = cand;
+        improved = true;
+      }
+    };
+
+    // Rule family 1: precision conversion on the straggler (any group, any
+    // bit — covers "replace the 8-bit layer with a faster precision").
+    for (int g = 0; g < G; ++g) {
+      if (plan.group_stage[static_cast<std::size_t>(g)] != straggler) continue;
+      for (int bi = 0; bi < B; ++bi) {
+        if (bi == plan.group_bit[static_cast<std::size_t>(g)]) continue;
+        HeuristicPlan cand = plan;
+        cand.group_bit[static_cast<std::size_t>(g)] = bi;
+        consider(cand);
+      }
+    }
+
+    // Rule family 2: layer re-partition — move the straggler's boundary
+    // groups to the neighboring stage, optionally converting their
+    // precision so they fit ("two 4-bit straggler layers for one 8-bit
+    // pioneer layer").
+    int first = -1, last = -1;
+    for (int g = 0; g < G; ++g) {
+      if (plan.group_stage[static_cast<std::size_t>(g)] == straggler) {
+        if (first < 0) first = g;
+        last = g;
+      }
+    }
+    if (first >= 0) {
+      // Move `first` to the previous group's stage (contiguity-safe).
+      if (first > 0) {
+        const int target = plan.group_stage[static_cast<std::size_t>(first - 1)];
+        for (int bi = 0; bi < B; ++bi) {
+          HeuristicPlan cand = plan;
+          cand.group_stage[static_cast<std::size_t>(first)] = target;
+          cand.group_bit[static_cast<std::size_t>(first)] = bi;
+          consider(cand);
+        }
+      }
+      // Move `last` to the next group's stage (or next stage index).
+      const int target = last + 1 < G
+                             ? plan.group_stage[static_cast<std::size_t>(last + 1)]
+                             : (straggler + 1 < J ? straggler + 1 : -1);
+      if (target >= 0 && target != straggler && last > first) {
+        for (int bi = 0; bi < B; ++bi) {
+          HeuristicPlan cand = plan;
+          cand.group_stage[static_cast<std::size_t>(last)] = target;
+          cand.group_bit[static_cast<std::size_t>(last)] = bi;
+          consider(cand);
+        }
+      }
+      // Combined rule: make room on the previous neighbor by narrowing its
+      // widest group, then shift the straggler boundary.
+      if (first > 0) {
+        const int nb = plan.group_stage[static_cast<std::size_t>(first - 1)];
+        int widest = -1, widest_w = -1;
+        for (int g = 0; g < G; ++g) {
+          if (plan.group_stage[static_cast<std::size_t>(g)] != nb) continue;
+          const int w = sq::hw::bits(
+              ctx.inputs().bits[static_cast<std::size_t>(plan.group_bit[static_cast<std::size_t>(g)])]);
+          if (w > widest_w) {
+            widest_w = w;
+            widest = g;
+          }
+        }
+        if (widest >= 0) {
+          for (int nbit = 0; nbit < B; ++nbit) {
+            if (sq::hw::bits(ctx.inputs().bits[static_cast<std::size_t>(nbit)]) >= widest_w) continue;
+            for (int mbit = 0; mbit < B; ++mbit) {
+              HeuristicPlan cand = plan;
+              cand.group_bit[static_cast<std::size_t>(widest)] = nbit;
+              cand.group_stage[static_cast<std::size_t>(first)] = nb;
+              cand.group_bit[static_cast<std::size_t>(first)] = mbit;
+              consider(cand);
+            }
+          }
+        }
+      }
+    }
+
+    // Rule family 3: global boundary shifts.  Straggler-local moves cannot
+    // start a relief chain when the straggler's neighbors are equally slow
+    // (e.g. three P100 stages feeding one V100); shifting any stage
+    // boundary lets the chain unwind over successive rounds.
+    for (int g = 1; g < G; ++g) {
+      const int prev_stage = plan.group_stage[static_cast<std::size_t>(g - 1)];
+      const int cur_stage = plan.group_stage[static_cast<std::size_t>(g)];
+      if (prev_stage == cur_stage) continue;
+      // Pull group g back to the previous stage.
+      for (int bi = 0; bi < B; ++bi) {
+        HeuristicPlan cand = plan;
+        cand.group_stage[static_cast<std::size_t>(g)] = prev_stage;
+        cand.group_bit[static_cast<std::size_t>(g)] = bi;
+        consider(cand);
+      }
+      // Push group g-1 forward to the current stage (keep the anchor).
+      if (g - 1 > 0) {
+        for (int bi = 0; bi < B; ++bi) {
+          HeuristicPlan cand = plan;
+          cand.group_stage[static_cast<std::size_t>(g - 1)] = cur_stage;
+          cand.group_bit[static_cast<std::size_t>(g - 1)] = bi;
+          consider(cand);
+        }
+      }
+    }
+
+    if (!improved) break;
+    plan = std::move(best);
+  }
+  return plan;
+}
+
+}  // namespace sq::core

@@ -1,0 +1,58 @@
+// Heuristic plan construction: greedy incumbents for the ILP warm start,
+// the `adabits` simplified quality-only assignment (the Fig. 12 ablation
+// baseline and the starting point of the heuristic), and the paper's
+// *bitwidth transfer* local search (Sec. IV-C, "Heuristic: Bitwidth
+// Transfer").
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/context.h"
+
+namespace sq::core {
+
+/// A concrete group assignment with its evaluation.
+struct HeuristicPlan {
+  std::vector<int> group_stage;  ///< Stage index per layer group.
+  std::vector<int> group_bit;    ///< Bit index per layer group.
+  AssignmentEval eval;
+};
+
+/// What a balanced partition balances.
+enum class PartitionMetric {
+  kCombined,     ///< Prefill + decode, weighted by the pipeline multipliers
+                 ///< (SplitQuant's phase-aware balance).
+  kPrefillOnly,  ///< Prefill time only — the phase-unaware balancing of the
+                 ///< Het baseline (encoder-style partitioning, ref. [12]).
+};
+
+/// Balanced contiguous partition of all layer groups over the stages at a
+/// uniform bit index, respecting per-stage memory capacity.  Returns the
+/// per-group stage assignment, or an empty vector when infeasible.
+std::vector<int> balanced_partition(const PlanContext& ctx, int bit_index,
+                                    PartitionMetric metric = PartitionMetric::kCombined);
+
+/// Even layer split across stages (the Uniform baseline's partition).
+std::vector<int> even_partition(const PlanContext& ctx);
+
+/// Greedy construction: speed-proportional contiguous partition with
+/// memory repair, then per-stage bitwidth refinement (upgrade bits where
+/// memory is spare, guided by the indicator; downgrade where the stage
+/// straggles).  Returns nullopt when no feasible assignment was found.
+std::optional<HeuristicPlan> greedy_plan(const PlanContext& ctx);
+
+/// `adabits`: minimize total quality penalty subject to memory only (no
+/// latency term), over an even layer partition — pure adaptive
+/// quantization with decoupled partitioning, exactly the ablation of
+/// Sec. VI-H.  Returns nullopt when even this is infeasible.
+std::optional<HeuristicPlan> adabits_plan(const PlanContext& ctx);
+
+/// Bitwidth-transfer local search: start from `start` (typically the
+/// adabits solution) and iteratively apply transformation rules
+/// (b_straggler, b_pioneer, num) — converting precision and re-partitioning
+/// layers across neighboring stages — while the objective improves.
+HeuristicPlan bitwidth_transfer(const PlanContext& ctx, HeuristicPlan start,
+                                int max_rounds = 200);
+
+}  // namespace sq::core

@@ -1,0 +1,552 @@
+#include "core/planner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "core/heuristics.h"
+#include "core/ilp.h"
+#include "model/layer_stats.h"
+#include "runtime/engine.h"
+#include "sim/pipeline.h"
+
+namespace sq::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Power-of-two micro-batch candidates up to `cap` (plus `cap` itself).
+std::vector<std::uint64_t> microbatch_candidates(std::uint64_t cap) {
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t v = 1; v < cap; v *= 2) out.push_back(v);
+  out.push_back(cap);
+  return out;
+}
+
+/// Synthetic Hessian-style indicator table for a big model: the HAWQ score
+/// lambda_max(2 X X^T) * ||Q(W) - W||^2 evaluated from the calibration
+/// statistics (lambda ~ 2 * D_X * E[X^2]; E||Q(W)-W||^2 ~ D_W * S(b)^2 / 12).
+std::vector<std::vector<double>> hessian_table(const sq::model::LlmSpec& m,
+                                               std::span<const Bitwidth> bits,
+                                               std::uint64_t seed) {
+  const auto calib = sq::model::synthetic_calibration(m, seed);
+  std::vector<std::vector<double>> t(calib.size(),
+                                     std::vector<double>(bits.size(), 0.0));
+  for (std::size_t l = 0; l < calib.size(); ++l) {
+    for (std::size_t bi = 0; bi < bits.size(); ++bi) {
+      if (bits[bi] == Bitwidth::kFp16) continue;
+      double acc = 0.0;
+      for (const auto& op : calib[l]) {
+        const double lambda =
+            2.0 * static_cast<double>(m.h1) * (op.x_mean * op.x_mean + op.x_var);
+        const double s = sq::quant::scale_for_range(op.w_min, op.w_max, bits[bi],
+                                                    sq::quant::Scheme::kSymmetric);
+        const double qerr =
+            static_cast<double>(op.weight_dim) * static_cast<double>(s) * s / 12.0;
+        acc += lambda * qerr;
+      }
+      t[l][bi] = acc;
+    }
+  }
+  return t;
+}
+
+/// Normalize a raw indicator table to PPL-delta units: uniform INT4 (or the
+/// narrowest available bit) is pinned at the calibration cost of 0.4 PPL.
+void normalize_to_ppl(std::vector<std::vector<double>>& t,
+                      std::span<const Bitwidth> bits) {
+  std::size_t ref = bits.size() - 1;
+  for (std::size_t bi = 0; bi < bits.size(); ++bi) {
+    if (bits[bi] == Bitwidth::kInt4) ref = bi;
+  }
+  double total = 0.0;
+  for (const auto& row : t) total += row[ref];
+  const double k = total > 0.0 ? 0.4 / total : 0.0;
+  for (auto& row : t) {
+    for (auto& v : row) v *= k;
+  }
+}
+
+}  // namespace
+
+Planner::Planner(const sq::model::LlmSpec& model, const sq::hw::Cluster& cluster,
+                 const sq::sim::BatchWorkload& workload,
+                 const sq::cost::LatencyCostModel& latency,
+                 const sq::quality::QualityModel& quality)
+    : model_(model),
+      cluster_(cluster),
+      workload_(workload),
+      latency_(latency),
+      quality_(quality) {}
+
+void Planner::profile_all(sq::cost::LatencyCostModel& latency,
+                          const sq::hw::Cluster& cluster,
+                          std::span<const Bitwidth> bits) {
+  for (int d = 0; d < cluster.device_count(); ++d) {
+    latency.profile_device(cluster.spec(d), bits);
+  }
+}
+
+PlanInputs Planner::make_inputs(const PlannerConfig& cfg, std::uint64_t batch) const {
+  PlanInputs in;
+  in.model = &model_;
+  in.cluster = &cluster_;
+  in.latency = &latency_;
+  in.workload = workload_;
+  in.workload.batch_size = batch;
+  in.kv_bits = cfg.kv_bits;
+  in.theta = cfg.theta;
+  in.omega_budget = cfg.max_ppl_delta;
+
+  for (const Bitwidth b : cfg.bits) {
+    if (b == Bitwidth::kInt3 && !cfg.custom_backend) continue;
+    in.bits.push_back(b);
+  }
+  if (in.bits.empty()) in.bits.push_back(Bitwidth::kFp16);
+
+  // Per-layer indicator in PPL units.
+  const std::size_t L = static_cast<std::size_t>(model_.n_layers);
+  in.omega_ppl.assign(L, std::vector<double>(in.bits.size(), 0.0));
+  switch (cfg.indicator) {
+    case IndicatorKind::kVariance: {
+      const double k = quality_.ppl_per_omega();
+      for (std::size_t l = 0; l < L; ++l) {
+        for (std::size_t bi = 0; bi < in.bits.size(); ++bi) {
+          in.omega_ppl[l][bi] = k * quality_.indicators().at(l, in.bits[bi]);
+        }
+      }
+      break;
+    }
+    case IndicatorKind::kHessian: {
+      in.omega_ppl = hessian_table(model_, in.bits, cfg.seed);
+      normalize_to_ppl(in.omega_ppl, in.bits);
+      break;
+    }
+    case IndicatorKind::kRandom: {
+      const auto table =
+          sq::quant::random_indicator_table(L, in.bits, cfg.seed);
+      for (std::size_t l = 0; l < L; ++l) {
+        for (std::size_t bi = 0; bi < in.bits.size(); ++bi) {
+          in.omega_ppl[l][bi] = table.values[l][bi];
+        }
+      }
+      normalize_to_ppl(in.omega_ppl, in.bits);
+      break;
+    }
+  }
+  return in;
+}
+
+std::uint64_t Planner::plan_concurrency(const PlannerConfig& cfg) const {
+  // Cap the planning batch so the KV reservation is sustainable: mid-range
+  // (INT8) weights plus B requests of full-context KV must fit in ~85% of
+  // the cluster's usable memory.  The runtime scheduler enforces the exact
+  // per-stage cap at execution.
+  const double total = static_cast<double>(cluster_.total_usable_memory()) * 0.85;
+  const double weights = static_cast<double>(model_.n_layers) *
+                         static_cast<double>(model_.layer_weight_bytes(Bitwidth::kInt8));
+  const double emb = static_cast<double>(model_.embedding_bytes());
+  const double kv_per_req =
+      static_cast<double>(model_.n_layers) *
+      static_cast<double>(model_.layer_kv_bytes(workload_.max_context(), cfg.kv_bits));
+  if (kv_per_req <= 0.0) return workload_.batch_size;
+  const double avail = total - weights - emb;
+  if (avail <= kv_per_req) return 1;
+  return std::min<std::uint64_t>(workload_.batch_size,
+                                 static_cast<std::uint64_t>(avail / kv_per_req));
+}
+
+PlanResult Planner::finalize(const PlanContext& ctx, const HeuristicPlan& hp,
+                             const std::string& scheme, double solve_s) const {
+  PlanResult r;
+  r.feasible = true;
+  r.plan = ctx.to_plan(hp.group_stage, hp.group_bit, scheme);
+  r.plan.solve_seconds = solve_s;
+  r.plan.predicted_batch_latency_us = hp.eval.latency_s * 1e6;
+  r.plan.quality_penalty = hp.eval.omega;
+  r.topology = describe(ctx.topology(), cluster_);
+  r.planned_batch = ctx.inputs().workload.batch_size;
+  r.predicted_latency_s = hp.eval.latency_s;
+  const double out_tokens = static_cast<double>(ctx.inputs().workload.batch_size) *
+                            static_cast<double>(ctx.inputs().workload.gen_tokens);
+  r.predicted_throughput =
+      hp.eval.latency_s > 0.0 ? out_tokens / hp.eval.latency_s : 0.0;
+  r.total_omega = hp.eval.omega;
+  const auto est = quality_.estimate_from_ppl_delta(hp.eval.omega);
+  r.est_ppl = est.ppl;
+  r.est_accuracy = est.accuracy;
+  r.solve_seconds = solve_s;
+  return r;
+}
+
+std::vector<std::uint64_t> Planner::batch_candidates(const PlannerConfig& cfg) const {
+  // Concurrency is itself a lever: memory-frugal plans can admit more
+  // simultaneous requests (more throughput at similar per-step latency).
+  // The analytic estimate seeds a small candidate set; memory constraints
+  // filter the over-ambitious ones per plan.
+  const std::uint64_t est = plan_concurrency(cfg);
+  std::vector<std::uint64_t> out;
+  for (const double f : {0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 3.0, 4.0}) {
+    const auto b = static_cast<std::uint64_t>(static_cast<double>(est) * f);
+    const std::uint64_t clamped =
+        std::clamp<std::uint64_t>(b, 1, workload_.batch_size);
+    if (out.empty() || out.back() != clamped) out.push_back(clamped);
+  }
+  return out;
+}
+
+PlanResult Planner::plan(const PlannerConfig& cfg) const {
+  const auto t0 = Clock::now();
+  PlanResult result;
+  result.failure = "no feasible plan found";
+
+  const auto batches = batch_candidates(cfg);
+  // One PlanInputs per batch candidate (contexts keep pointers into them).
+  std::vector<PlanInputs> inputs;
+  inputs.reserve(batches.size());
+  for (const auto b : batches) inputs.push_back(make_inputs(cfg, b));
+
+  const auto topologies =
+      enumerate_topologies(cluster_, cfg.allow_tp, cfg.max_topologies);
+
+  // Stage 1: greedy-score every (batch, topology, eta, xi) candidate.
+  // Across batch sizes, objectives are compared per-request:
+  // (latency + theta * omega) / B — the throughput-fair normalization.
+  struct Candidate {
+    std::size_t input;
+    std::size_t topo;
+    std::uint64_t eta, xi;
+    HeuristicPlan seed;
+    double norm_obj;
+  };
+  auto normalized = [&](const AssignmentEval& ev, std::size_t input_i) {
+    return ev.objective /
+           static_cast<double>(inputs[input_i].workload.batch_size);
+  };
+  std::vector<Candidate> cands;
+  for (std::size_t ii = 0; ii < inputs.size(); ++ii) {
+    const std::uint64_t batch = inputs[ii].workload.batch_size;
+    const auto etas = microbatch_candidates(std::min<std::uint64_t>(batch, 64));
+    const auto xis = microbatch_candidates(batch);
+    for (std::size_t ti = 0; ti < topologies.size(); ++ti) {
+      for (const auto eta : etas) {
+        for (const auto xi : xis) {
+          const PlanContext ctx(inputs[ii], topologies[ti], eta, xi, cfg.group_size);
+          auto g = greedy_plan(ctx);
+          if (!g) continue;
+          const double obj = normalized(g->eval, ii);
+          cands.push_back({ii, ti, eta, xi, std::move(*g), obj});
+        }
+      }
+    }
+  }
+  result.topologies_tried = static_cast<int>(topologies.size());
+  if (cands.empty()) {
+    result.failure = "OOM: no (topology, micro-batch) candidate fits the model";
+    result.solve_seconds = seconds_since(t0);
+    return result;
+  }
+  auto by_norm = [](const Candidate& a, const Candidate& b) {
+    return a.norm_obj < b.norm_obj;
+  };
+  std::sort(cands.begin(), cands.end(), by_norm);
+
+  // Stage 2: refine the most promising candidates with adabits + bitwidth
+  // transfer.
+  const int refine_k = std::min<int>(static_cast<int>(cands.size()),
+                                     std::max(4, 2 * cfg.max_microbatch_pairs));
+  for (int i = 0; i < refine_k; ++i) {
+    auto& c = cands[static_cast<std::size_t>(i)];
+    const PlanContext ctx(inputs[c.input], topologies[c.topo], c.eta, c.xi,
+                          cfg.group_size);
+    auto a = adabits_plan(ctx);
+    HeuristicPlan refined = bitwidth_transfer(
+        ctx, a && a->eval.objective < c.seed.eval.objective ? *a : c.seed);
+    if (refined.eval.feasible &&
+        normalized(refined.eval, c.input) < c.norm_obj) {
+      c.seed = std::move(refined);
+      c.norm_obj = normalized(c.seed.eval, c.input);
+    }
+    ++result.pairs_tried;
+  }
+  std::sort(cands.begin(), cands.end(), by_norm);
+
+  // Stage 3: exact ILP on the top candidates (unless heuristic mode).
+  std::size_t best_i = 0;
+  HeuristicPlan best = cands.front().seed;
+  double best_norm = cands.front().norm_obj;
+  if (!cfg.use_heuristic) {
+    sq::solver::MilpOptions opts;
+    opts.time_limit_s = cfg.ilp_time_limit_s;
+    const int solve_k =
+        std::min<int>(static_cast<int>(cands.size()), cfg.max_microbatch_pairs);
+    for (int i = 0; i < solve_k; ++i) {
+      auto& c = cands[static_cast<std::size_t>(i)];
+      const PlanContext ctx(inputs[c.input], topologies[c.topo], c.eta, c.xi,
+                            cfg.group_size);
+      const auto out = solve_ilp(ctx, c.seed, opts);
+      ++result.ilp_solves;
+      result.ilp_nodes += out.nodes;
+      if (out.feasible && normalized(out.plan.eval, c.input) < c.norm_obj) {
+        c.seed = out.plan;
+        c.norm_obj = normalized(out.plan.eval, c.input);
+      }
+      if (c.norm_obj < best_norm) {
+        best = c.seed;
+        best_norm = c.norm_obj;
+        best_i = static_cast<std::size_t>(i);
+      }
+    }
+  }
+
+  // Stage 4: profiling validation run.  Near-ties under the cost model are
+  // settled by simulating the top finalists on the planning batch (a short
+  // calibration run in a real deployment) and keeping the highest
+  // simulated throughput.
+  if (cfg.validate_top_k > 1 && cands.size() > 1) {
+    std::sort(cands.begin(), cands.end(), by_norm);
+    best = cands.front().seed;
+    best_i = 0;
+    double best_score = std::numeric_limits<double>::infinity();
+    const int check_k =
+        std::min<int>(static_cast<int>(cands.size()), cfg.validate_top_k);
+    for (int i = 0; i < check_k; ++i) {
+      const auto& c = cands[static_cast<std::size_t>(i)];
+      const PlanContext ctx(inputs[c.input], topologies[c.topo], c.eta, c.xi,
+                            cfg.group_size);
+      const auto plan = ctx.to_plan(c.seed.group_stage, c.seed.group_bit, "probe");
+      const std::uint64_t b = inputs[c.input].workload.batch_size;
+      const double score =
+          validation_score(plan, b, cfg.theta, c.seed.eval.omega);
+      if (score < best_score) {
+        best_score = score;
+        best = c.seed;
+        best_i = static_cast<std::size_t>(i);
+      }
+    }
+  }
+
+  const auto& c = cands[best_i];
+  const PlanContext ctx(inputs[c.input], topologies[c.topo], c.eta, c.xi,
+                        cfg.group_size);
+  PlanResult r = finalize(ctx, best, "splitquant", seconds_since(t0));
+  r.topologies_tried = result.topologies_tried;
+  r.pairs_tried = result.pairs_tried;
+  r.ilp_solves = result.ilp_solves;
+  r.ilp_nodes = result.ilp_nodes;
+
+  // Dominance check: the Uniform and Het configurations are points of
+  // SplitQuant's own search space; if cost-model error ranked them below
+  // the chosen plan but the profiling run says otherwise, adopt them.
+  if (cfg.validate_top_k > 1) {
+    double chosen =
+        validation_score(r.plan, r.planned_batch, cfg.theta, r.total_omega);
+    for (const PlanResult& alt :
+         {plan_uniform(cfg), plan_het(cfg), plan_adabits(cfg)}) {
+      if (!alt.feasible) continue;
+      if (cfg.max_ppl_delta >= 0.0 &&
+          alt.total_omega > cfg.max_ppl_delta * (1.0 + 1e-9)) {
+        continue;  // would violate the quality budget
+      }
+      const double t = validation_score(alt.plan, alt.planned_batch, cfg.theta,
+                                        alt.total_omega);
+      if (t < chosen * (1.0 - 1e-9)) {
+        chosen = t;
+        r.plan = alt.plan;
+        r.plan.scheme = "splitquant";
+        r.topology = alt.topology;
+        r.planned_batch = alt.planned_batch;
+        r.predicted_latency_s = alt.predicted_latency_s;
+        r.predicted_throughput = alt.predicted_throughput;
+        r.total_omega = alt.total_omega;
+        r.est_ppl = alt.est_ppl;
+        r.est_accuracy = alt.est_accuracy;
+      }
+    }
+    r.solve_seconds = seconds_since(t0);
+    r.plan.solve_seconds = r.solve_seconds;
+  }
+  return r;
+}
+
+double Planner::validation_score(const sq::sim::ExecutionPlan& plan,
+                                 std::uint64_t batch, double theta,
+                                 double omega) const {
+  // Run the plan through the actual serving engine (wave capping and
+  // per-wave micro-batch clamping included) on two calibration shapes:
+  // the planning batch and a half-prompt variant.
+  const sq::runtime::OfflineEngine engine(cluster_, model_, plan);
+  std::vector<sq::sim::BatchWorkload> batches;
+  for (const double frac : {1.5, 1.0, 0.55}) {
+    sq::sim::BatchWorkload w = workload_;
+    w.batch_size = std::max<std::uint64_t>(batch, workload_.batch_size);
+    const std::uint64_t limit =
+        model_.pos_s > w.gen_tokens ? model_.pos_s - w.gen_tokens : model_.pos_s;
+    w.prompt_len = std::min<std::uint64_t>(
+        limit, std::max<std::uint64_t>(
+                   16, static_cast<std::uint64_t>(
+                           static_cast<double>(w.prompt_len) * frac)));
+    batches.push_back(w);
+  }
+  const auto stats = engine.serve(batches);
+  if (!stats.feasible || stats.throughput_tok_s <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Measured analogue of the per-request objective: generation time per
+  // request plus the quality penalty share.
+  const double lat_per_req =
+      static_cast<double>(workload_.gen_tokens) / stats.throughput_tok_s;
+  return lat_per_req + theta * omega / static_cast<double>(batch);
+}
+
+PlanResult Planner::plan_uniform(const PlannerConfig& cfg) const {
+  const auto t0 = Clock::now();
+  PlanResult result;
+  result.failure = "OOM: model does not fit at any uniform precision";
+
+  PlannerConfig base = cfg;
+  base.theta = 0.0;           // Baselines do not trade quality for speed.
+  base.max_ppl_delta = -1.0;  // ... nor are they quality-constrained.
+  const auto batches = batch_candidates(base);
+  std::vector<PlanInputs> inputs;
+  for (const auto b : batches) inputs.push_back(make_inputs(base, b));
+  const auto topologies = natural_topologies(cluster_, cfg.allow_tp);
+
+  // Widest-first bit order.
+  std::vector<int> order(inputs.front().bits.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return sq::hw::bits(inputs.front().bits[static_cast<std::size_t>(a)]) >
+           sq::hw::bits(inputs.front().bits[static_cast<std::size_t>(b)]);
+  });
+
+  double best_obj = std::numeric_limits<double>::infinity();
+  for (const auto& in : inputs) {
+    const std::uint64_t batch = in.workload.batch_size;
+    const auto etas = microbatch_candidates(std::min<std::uint64_t>(batch, 64));
+    const auto xis = microbatch_candidates(batch);
+    for (const auto& topo : topologies) {
+      for (const int bi : order) {
+        bool fits_somewhere = false;
+        for (const auto eta : etas) {
+          for (const auto xi : xis) {
+            const PlanContext ctx(in, topo, eta, xi, cfg.group_size);
+            HeuristicPlan hp;
+            hp.group_stage = even_partition(ctx);
+            hp.group_bit.assign(static_cast<std::size_t>(ctx.num_groups()), bi);
+            hp.eval = ctx.evaluate(hp.group_stage, hp.group_bit);
+            if (!hp.eval.feasible) continue;
+            fits_somewhere = true;
+            const double obj = hp.eval.objective / static_cast<double>(batch);
+            if (obj < best_obj) {
+              best_obj = obj;
+              result = finalize(ctx, hp, "uniform", seconds_since(t0));
+            }
+          }
+        }
+        // The paper's Uniform lowers precision only until the model fits.
+        if (fits_somewhere) break;
+      }
+    }
+  }
+  result.solve_seconds = seconds_since(t0);
+  return result;
+}
+
+PlanResult Planner::plan_het(const PlannerConfig& cfg) const {
+  const auto t0 = Clock::now();
+  PlanResult result;
+  result.failure = "OOM: model does not fit at any uniform precision";
+
+  PlannerConfig base = cfg;
+  base.theta = 0.0;
+  base.max_ppl_delta = -1.0;
+  const auto batches = batch_candidates(base);
+  std::vector<PlanInputs> inputs;
+  for (const auto b : batches) inputs.push_back(make_inputs(base, b));
+  const auto topologies =
+      enumerate_topologies(cluster_, cfg.allow_tp, cfg.max_topologies);
+
+  std::vector<int> order(inputs.front().bits.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return sq::hw::bits(inputs.front().bits[static_cast<std::size_t>(a)]) >
+           sq::hw::bits(inputs.front().bits[static_cast<std::size_t>(b)]);
+  });
+
+  double best_obj = std::numeric_limits<double>::infinity();
+  for (const auto& in : inputs) {
+    const std::uint64_t batch = in.workload.batch_size;
+    const auto etas = microbatch_candidates(std::min<std::uint64_t>(batch, 64));
+    const auto xis = microbatch_candidates(batch);
+    for (const auto& topo : topologies) {
+      for (const int bi : order) {
+        bool fits_somewhere = false;
+        for (const auto eta : etas) {
+          for (const auto xi : xis) {
+            const PlanContext ctx(in, topo, eta, xi, cfg.group_size);
+            HeuristicPlan hp;
+            hp.group_stage =
+                balanced_partition(ctx, bi, PartitionMetric::kPrefillOnly);
+            if (hp.group_stage.empty()) continue;
+            hp.group_bit.assign(static_cast<std::size_t>(ctx.num_groups()), bi);
+            hp.eval = ctx.evaluate(hp.group_stage, hp.group_bit);
+            if (!hp.eval.feasible) continue;
+            fits_somewhere = true;
+            const double obj = hp.eval.objective / static_cast<double>(batch);
+            if (obj < best_obj) {
+              best_obj = obj;
+              result = finalize(ctx, hp, "het", seconds_since(t0));
+            }
+          }
+        }
+        if (fits_somewhere) break;
+      }
+    }
+  }
+  result.solve_seconds = seconds_since(t0);
+  return result;
+}
+
+PlanResult Planner::plan_adabits(const PlannerConfig& cfg) const {
+  const auto t0 = Clock::now();
+  PlanResult result;
+  result.failure = "OOM: adabits found no feasible assignment";
+
+  const auto batches = batch_candidates(cfg);
+  std::vector<PlanInputs> inputs;
+  for (const auto b : batches) inputs.push_back(make_inputs(cfg, b));
+  const auto topologies =
+      enumerate_topologies(cluster_, cfg.allow_tp, cfg.max_topologies);
+
+  double best_obj = std::numeric_limits<double>::infinity();
+  for (const auto& in : inputs) {
+    const std::uint64_t batch = in.workload.batch_size;
+    const auto etas = microbatch_candidates(std::min<std::uint64_t>(batch, 64));
+    const auto xis = microbatch_candidates(batch);
+    for (const auto& topo : topologies) {
+      for (const auto eta : etas) {
+        for (const auto xi : xis) {
+          const PlanContext ctx(in, topo, eta, xi, cfg.group_size);
+          const auto a = adabits_plan(ctx);
+          if (!a) continue;
+          const double obj = a->eval.objective / static_cast<double>(batch);
+          if (obj < best_obj) {
+            best_obj = obj;
+            result = finalize(ctx, *a, "adabits", seconds_since(t0));
+          }
+        }
+      }
+    }
+  }
+  result.solve_seconds = seconds_since(t0);
+  return result;
+}
+
+}  // namespace sq::core

@@ -1,0 +1,157 @@
+#include "core/topology.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace sq::core {
+
+int Topology::device_count() const {
+  int n = 0;
+  for (const auto& g : groups) n += static_cast<int>(g.devices.size());
+  return n;
+}
+
+std::string describe(const Topology& t, const sq::hw::Cluster& cluster) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < t.groups.size(); ++i) {
+    if (i > 0) os << " -> ";
+    const auto& g = t.groups[i];
+    os << sq::hw::to_string(cluster.spec(g.devices.front()).type);
+    if (g.devices.size() > 1) os << "xTP" << g.devices.size();
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Signature used to treat stage groups as interchangeable when permuting:
+/// GPU type + TP degree.
+using GroupSig = std::pair<int, int>;
+
+GroupSig signature(const StageGroup& g, const sq::hw::Cluster& c) {
+  return {static_cast<int>(c.spec(g.devices.front()).type),
+          static_cast<int>(g.devices.size())};
+}
+
+/// Mesh configuration: one TP degree per node (must divide the node's GPU
+/// count).  Generates the stage groups it induces.
+std::vector<std::vector<StageGroup>> mesh_configs(const sq::hw::Cluster& c,
+                                                  bool allow_tp) {
+  // Per node: list of valid TP degrees.
+  std::vector<std::vector<int>> degrees;
+  std::vector<int> first_dev;
+  int dev = 0;
+  for (const auto& node : c.nodes()) {
+    std::vector<int> d = {1};
+    if (allow_tp) {
+      for (int g : {2, 4, 8}) {
+        if (g <= node.gpu_count && node.gpu_count % g == 0) d.push_back(g);
+      }
+    }
+    degrees.push_back(std::move(d));
+    first_dev.push_back(dev);
+    dev += node.gpu_count;
+  }
+
+  std::vector<std::vector<StageGroup>> configs;
+  std::vector<std::size_t> pick(degrees.size(), 0);
+  while (true) {
+    std::vector<StageGroup> groups;
+    for (std::size_t n = 0; n < degrees.size(); ++n) {
+      const int tp = degrees[n][pick[n]];
+      const int count = c.nodes()[n].gpu_count;
+      for (int base = 0; base < count; base += tp) {
+        StageGroup g;
+        for (int k = 0; k < tp; ++k) g.devices.push_back(first_dev[n] + base + k);
+        groups.push_back(std::move(g));
+      }
+    }
+    configs.push_back(std::move(groups));
+    // Next mesh combination.
+    std::size_t n = 0;
+    while (n < pick.size()) {
+      if (++pick[n] < degrees[n].size()) break;
+      pick[n] = 0;
+      ++n;
+    }
+    if (n == pick.size()) break;
+  }
+  return configs;
+}
+
+}  // namespace
+
+std::vector<Topology> natural_topologies(const sq::hw::Cluster& cluster,
+                                         bool allow_tp) {
+  std::vector<Topology> out;
+  for (auto& groups : mesh_configs(cluster, allow_tp)) {
+    Topology t;
+    t.groups = std::move(groups);
+    t.desc = describe(t, cluster);
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::vector<Topology> enumerate_topologies(const sq::hw::Cluster& cluster,
+                                           bool allow_tp, int max_topologies) {
+  std::vector<Topology> out;
+  std::set<std::vector<GroupSig>> seen_orderings;
+
+  for (auto& groups : mesh_configs(cluster, allow_tp)) {
+    // Sort groups into a canonical order, then enumerate distinct
+    // permutations of their signatures (std::next_permutation over the
+    // signature multiset; each signature permutation is realized with the
+    // concrete groups in a fixed rotation).
+    std::vector<std::size_t> idx(groups.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      return signature(groups[a], cluster) < signature(groups[b], cluster);
+    });
+
+    // Permute indices; dedupe by signature sequence (global across meshes:
+    // a TP2 pair of V100s is a TP2 pair of V100s regardless of which node
+    // partition produced it — but only within the same mesh config, since
+    // the full signature sequence encodes the mesh).
+    std::vector<std::size_t> perm = idx;
+    const std::size_t limit = 40320;  // 8! guard.
+    std::size_t iter = 0;
+    do {
+      if (++iter > limit) break;
+      std::vector<GroupSig> sig;
+      sig.reserve(perm.size());
+      for (const std::size_t i : perm) sig.push_back(signature(groups[i], cluster));
+      if (!seen_orderings.insert(sig).second) continue;
+      Topology t;
+      for (const std::size_t i : perm) t.groups.push_back(groups[i]);
+      t.desc = describe(t, cluster);
+      out.push_back(std::move(t));
+      if (static_cast<int>(out.size()) >= max_topologies * 4) break;
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    if (static_cast<int>(out.size()) >= max_topologies * 4) {
+      // Keep enumerating other mesh configs, but stop permuting within
+      // this one; meshes are few, so continue the loop.
+      continue;
+    }
+  }
+
+  if (static_cast<int>(out.size()) <= max_topologies) return out;
+
+  // Too many: keep a diverse subset — prefer fewer-stage topologies and
+  // those that lead with large-memory groups (the master stage pays the
+  // embedding block), then fill in enumeration order.
+  std::stable_sort(out.begin(), out.end(), [&](const Topology& a, const Topology& b) {
+    if (a.groups.size() != b.groups.size()) return a.groups.size() < b.groups.size();
+    const auto mem = [&](const Topology& t) {
+      return cluster.spec(t.groups.front().devices.front()).usable_memory_bytes() *
+             t.groups.front().devices.size();
+    };
+    return mem(a) > mem(b);
+  });
+  out.resize(static_cast<std::size_t>(max_topologies));
+  return out;
+}
+
+}  // namespace sq::core

@@ -1,0 +1,52 @@
+// Device-topology enumeration (paper Sec. IV-C, "Device Topology and
+// Micro-batch Enumeration").
+//
+// A topology is an ordered list of pipeline stage groups; each group is a
+// single device or an intra-node tensor-parallel mesh (the paper restricts
+// TP to intra-node 2D meshes).  The assigner enumerates candidate
+// topologies — permutations of the stage groups across valid mesh
+// configurations — and solves the partition/bitwidth ILP for each.
+// Permutations of interchangeable groups (same GPU type and TP degree) are
+// deduplicated, and the total is capped.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/cluster.h"
+
+namespace sq::core {
+
+/// One pipeline stage group: devices (same node, same type; size = TP).
+struct StageGroup {
+  std::vector<int> devices;
+};
+
+/// An ordered pipeline topology.
+struct Topology {
+  std::vector<StageGroup> groups;
+  std::string desc;  ///< e.g. "V100 -> V100xTP2 -> A100".
+
+  /// Total devices used.
+  int device_count() const;
+};
+
+/// Enumerate candidate topologies for `cluster`.
+///
+/// `allow_tp` enables intra-node meshes (TP degrees 2/4/8 where the node
+/// has that many GPUs).  At most `max_topologies` are returned; when the
+/// full (deduplicated) permutation set is larger, a diverse subset is kept
+/// (identity, memory-descending, compute-descending, plus lexicographic
+/// fills).
+std::vector<Topology> enumerate_topologies(const sq::hw::Cluster& cluster,
+                                           bool allow_tp, int max_topologies);
+
+/// Topologies in the cluster's natural device order only (no reordering) —
+/// one per mesh configuration.  This is what the Uniform baseline uses.
+std::vector<Topology> natural_topologies(const sq::hw::Cluster& cluster,
+                                         bool allow_tp);
+
+/// Human-readable description of a topology under `cluster`.
+std::string describe(const Topology& t, const sq::hw::Cluster& cluster);
+
+}  // namespace sq::core

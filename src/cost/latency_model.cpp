@@ -1,0 +1,90 @@
+#include "cost/latency_model.h"
+
+#include <stdexcept>
+
+namespace sq::cost {
+
+LatencyCostModel::LatencyCostModel(const LlmSpec& m, ProfileConfig cfg)
+    : m_(m), cfg_(std::move(cfg)) {}
+
+std::vector<double> LatencyCostModel::prefill_features(std::uint64_t v,
+                                                       std::uint64_t s) {
+  const auto vd = static_cast<double>(v);
+  const auto sd = static_cast<double>(s);
+  return {1.0, vd, sd, vd * sd, vd * sd * sd};
+}
+
+std::vector<double> LatencyCostModel::decode_features(std::uint64_t v,
+                                                      std::uint64_t ctx) {
+  const auto vd = static_cast<double>(v);
+  const auto cd = static_cast<double>(ctx);
+  return {1.0, vd, vd * cd, cd};
+}
+
+void LatencyCostModel::profile_device(const GpuSpec& g,
+                                      std::span<const Bitwidth> bits) {
+  const sq::sim::KernelModel km(cfg_.kernel);
+  for (const Bitwidth b : bits) {
+    for (const int tp : cfg_.tp_degrees) {
+      // Prefill fit.
+      {
+        const Key key{g.type, b, Phase::kPrefill, tp};
+        if (fits_.count(key) != 0) continue;
+        std::vector<double> x, y;
+        for (const auto v : cfg_.batch_sizes) {
+          for (const auto s : cfg_.prefill_lens) {
+            const auto f = prefill_features(v, s);
+            x.insert(x.end(), f.begin(), f.end());
+            y.push_back(km.layer_time_us(g, m_, Phase::kPrefill, v, s, b,
+                                         sq::hw::Bitwidth::kFp16, tp,
+                                         cfg_.tp_link_gbps));
+            ++samples_;
+          }
+        }
+        LinearRegression reg;
+        reg.fit(x, y.size(), 5, y);
+        fits_[key] = std::move(reg);
+      }
+      // Decode fit.
+      {
+        const Key key{g.type, b, Phase::kDecode, tp};
+        if (fits_.count(key) != 0) continue;
+        std::vector<double> x, y;
+        for (const auto v : cfg_.batch_sizes) {
+          for (const auto ctx : cfg_.decode_ctx) {
+            const auto f = decode_features(v, ctx);
+            x.insert(x.end(), f.begin(), f.end());
+            y.push_back(km.layer_time_us(g, m_, Phase::kDecode, v, ctx, b,
+                                         sq::hw::Bitwidth::kFp16, tp,
+                                         cfg_.tp_link_gbps));
+            ++samples_;
+          }
+        }
+        LinearRegression reg;
+        reg.fit(x, y.size(), 4, y);
+        fits_[key] = std::move(reg);
+      }
+    }
+  }
+}
+
+bool LatencyCostModel::has_profile(GpuType t, Bitwidth b, int tp) const {
+  return fits_.count(Key{t, b, Phase::kPrefill, tp}) != 0 &&
+         fits_.count(Key{t, b, Phase::kDecode, tp}) != 0;
+}
+
+double LatencyCostModel::predict_layer_us(GpuType t, Phase phase, std::uint64_t v,
+                                          std::uint64_t s_or_ctx, Bitwidth b,
+                                          int tp) const {
+  const auto it = fits_.find(Key{t, b, phase, tp});
+  if (it == fits_.end()) {
+    throw std::logic_error("LatencyCostModel: device/bitwidth not profiled");
+  }
+  const auto f = phase == Phase::kPrefill ? prefill_features(v, s_or_ctx)
+                                          : decode_features(v, s_or_ctx);
+  // Latency cannot be negative; clamp tiny extrapolations.
+  const double pred = it->second.predict(f);
+  return pred > 0.0 ? pred : 0.0;
+}
+
+}  // namespace sq::cost

@@ -1,0 +1,42 @@
+#include "cost/memory_model.h"
+
+#include <algorithm>
+
+namespace sq::cost {
+
+std::uint64_t MemoryCostModel::stage_bytes(std::span<const Bitwidth> layer_bits,
+                                           std::uint64_t batch, std::uint64_t ctx,
+                                           std::uint64_t eta, std::uint64_t xi,
+                                           std::uint64_t chunk, Bitwidth bit_kv,
+                                           int tp, bool is_master) const {
+  std::uint64_t weights = 0;
+  for (const Bitwidth b : layer_bits) weights += layer_weight_bytes(b);
+  const std::uint64_t kv =
+      layer_kv_bytes(batch, ctx, bit_kv) * static_cast<std::uint64_t>(layer_bits.size());
+  const std::uint64_t act = std::max(peak_activation_bytes(eta, chunk),
+                                     peak_activation_bytes(xi, 1));
+  const auto tpd = static_cast<std::uint64_t>(std::max(1, tp));
+  std::uint64_t total = (weights + kv + act) / tpd;
+  if (is_master) total += embedding_bytes();
+  return total;
+}
+
+std::vector<std::uint64_t> MemoryCostModel::plan_bytes(
+    const sq::sim::ExecutionPlan& plan, const sq::sim::BatchWorkload& w) const {
+  std::vector<std::uint64_t> out;
+  for (std::size_t si = 0; si < plan.stages.size(); ++si) {
+    const auto& st = plan.stages[si];
+    const std::span<const Bitwidth> bits(
+        plan.layer_bits.data() + st.layer_begin,
+        static_cast<std::size_t>(st.layer_count()));
+    for (std::size_t di = 0; di < st.devices.size(); ++di) {
+      const bool master = si == 0 && di == 0;
+      out.push_back(stage_bytes(bits, w.batch_size, w.max_context(),
+                                plan.prefill_microbatch, plan.decode_microbatch,
+                                w.chunk_len(), plan.kv_bits, st.tp(), master));
+    }
+  }
+  return out;
+}
+
+}  // namespace sq::cost

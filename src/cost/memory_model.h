@@ -1,0 +1,65 @@
+// Analytical memory cost model (paper Sec. IV-A, "Memory Cost Model").
+//
+// Predicts per-device memory of a candidate plan from closed forms —
+// weights under mixed precision, KV-cache reservation for the batch at
+// maximum context, peak activations, and the embedding/LM-head block on
+// the master stage.  The planner uses these predictions in constraints
+// (12)/(13); Fig. 8 validates them against the "real" engine accounting
+// (sq::sim::plan_memory), which additionally rounds KV to paged blocks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hw/gpu.h"
+#include "model/llm.h"
+#include "sim/plan.h"
+
+namespace sq::cost {
+
+using sq::hw::Bitwidth;
+
+/// Closed-form memory predictions for one model.
+class MemoryCostModel {
+ public:
+  explicit MemoryCostModel(const sq::model::LlmSpec& m) : m_(m) {}
+
+  /// Bytes of one decoder layer's weights at bitwidth `b`
+  /// ((4 h1^2 + 2 h1 h2) * bit/8 + norm params in FP16).
+  std::uint64_t layer_weight_bytes(Bitwidth b) const { return m_.layer_weight_bytes(b); }
+
+  /// KV reservation for `batch` requests at context `ctx` per layer:
+  /// 2 * v * ctx * h1 * bit_kv/8 (paper formula).
+  std::uint64_t layer_kv_bytes(std::uint64_t batch, std::uint64_t ctx,
+                               Bitwidth bit_kv) const {
+    return batch * m_.layer_kv_bytes(ctx, bit_kv);
+  }
+
+  /// Peak activation bytes for micro-batch `v` over sequence `s`.
+  std::uint64_t peak_activation_bytes(std::uint64_t v, std::uint64_t s) const {
+    return m_.layer_peak_activation_bytes(v, s);
+  }
+
+  /// Embedding + LM head bytes (always FP16), M_emb of constraint (13).
+  std::uint64_t embedding_bytes() const { return m_.embedding_bytes(); }
+
+  /// Predicted memory of a stage holding `layer_bits` (one entry per owned
+  /// layer) with batch `batch` at max context `ctx`, micro-batch sizes
+  /// (eta, xi), prefill chunk length `chunk`, KV precision `bit_kv`,
+  /// divided across `tp` devices.  `is_master` adds the embedding block.
+  std::uint64_t stage_bytes(std::span<const Bitwidth> layer_bits, std::uint64_t batch,
+                            std::uint64_t ctx, std::uint64_t eta, std::uint64_t xi,
+                            std::uint64_t chunk, Bitwidth bit_kv, int tp,
+                            bool is_master) const;
+
+  /// Predicted per-device memory for a full plan + workload (device order
+  /// follows plan stages, one entry per device).
+  std::vector<std::uint64_t> plan_bytes(const sq::sim::ExecutionPlan& plan,
+                                        const sq::sim::BatchWorkload& w) const;
+
+ private:
+  sq::model::LlmSpec m_;
+};
+
+}  // namespace sq::cost

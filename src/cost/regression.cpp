@@ -1,0 +1,82 @@
+#include "cost/regression.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace sq::cost {
+
+bool LinearRegression::fit(std::span<const double> x, std::size_t n, std::size_t k,
+                           std::span<const double> y, double ridge) {
+  assert(x.size() == n * k && y.size() == n);
+  theta_.assign(k, 0.0);
+  if (n == 0 || k == 0) return false;
+
+  // Normal equations: (X^T X + ridge I) theta = X^T y.
+  std::vector<double> a(k * k, 0.0);
+  std::vector<double> b(k, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = &x[i * k];
+    for (std::size_t p = 0; p < k; ++p) {
+      b[p] += row[p] * y[i];
+      for (std::size_t q = 0; q < k; ++q) {
+        a[p * k + q] += row[p] * row[q];
+      }
+    }
+  }
+  for (std::size_t p = 0; p < k; ++p) a[p * k + p] += ridge;
+
+  // Gaussian elimination with partial pivoting.
+  std::vector<std::size_t> perm(k);
+  for (std::size_t i = 0; i < k; ++i) perm[i] = i;
+  for (std::size_t col = 0; col < k; ++col) {
+    std::size_t pivot = col;
+    double best = std::abs(a[col * k + col]);
+    for (std::size_t r = col + 1; r < k; ++r) {
+      const double v = std::abs(a[r * k + col]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) return false;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < k; ++c) std::swap(a[col * k + c], a[pivot * k + c]);
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a[col * k + col];
+    for (std::size_t r = col + 1; r < k; ++r) {
+      const double f = a[r * k + col] * inv;
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < k; ++c) a[r * k + c] -= f * a[col * k + c];
+      b[r] -= f * b[col];
+    }
+  }
+  for (std::size_t col = k; col-- > 0;) {
+    double acc = b[col];
+    for (std::size_t c = col + 1; c < k; ++c) acc -= a[col * k + c] * theta_[c];
+    theta_[col] = acc / a[col * k + col];
+  }
+  return true;
+}
+
+double LinearRegression::predict(std::span<const double> features) const {
+  assert(features.size() == theta_.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < theta_.size(); ++i) acc += theta_[i] * features[i];
+  return acc;
+}
+
+double LinearRegression::training_mape(std::span<const double> x, std::size_t n,
+                                       std::size_t k, std::span<const double> y) const {
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::abs(y[i]) < 1e-12) continue;
+    const double pred = predict(x.subspan(i * k, k));
+    total += std::abs((pred - y[i]) / y[i]);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+}  // namespace sq::cost

@@ -1,0 +1,37 @@
+// From-scratch ordinary least squares, used to fit the phase-aware latency
+// cost models of Sec. IV-A ("we use interpolation among the sample points
+// to obtain a linear regression model").
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sq::cost {
+
+/// Ordinary-least-squares linear model y = theta . x with a small ridge
+/// term for numerical stability.  Solved via the normal equations with
+/// Gaussian elimination (feature counts here are <= 5).
+class LinearRegression {
+ public:
+  /// Fit on `n` samples of `k` features: X is row-major [n x k], y is [n].
+  /// `ridge` is added to the normal-matrix diagonal.  Returns false when
+  /// the system is singular beyond repair (coefficients are then zero).
+  bool fit(std::span<const double> x, std::size_t n, std::size_t k,
+           std::span<const double> y, double ridge = 1e-9);
+
+  /// Predicted value for one feature row (size k).
+  double predict(std::span<const double> features) const;
+
+  /// Fitted coefficients (size k; empty before fit).
+  const std::vector<double>& coefficients() const { return theta_; }
+
+  /// Mean absolute percentage error of the fit on (x, y).
+  double training_mape(std::span<const double> x, std::size_t n, std::size_t k,
+                       std::span<const double> y) const;
+
+ private:
+  std::vector<double> theta_;
+};
+
+}  // namespace sq::cost

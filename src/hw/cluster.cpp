@@ -1,0 +1,57 @@
+#include "hw/cluster.h"
+
+#include <sstream>
+
+namespace sq::hw {
+
+Cluster::Cluster(std::string name, std::vector<Node> nodes, double ethernet_gbit)
+    : name_(std::move(name)), nodes_(std::move(nodes)), ethernet_gbit_(ethernet_gbit) {
+  for (int n = 0; n < static_cast<int>(nodes_.size()); ++n) {
+    const GpuSpec spec = gpu_spec(nodes_[static_cast<std::size_t>(n)].gpu_type);
+    for (int g = 0; g < nodes_[static_cast<std::size_t>(n)].gpu_count; ++g) {
+      devices_.push_back(DeviceRef{n, g});
+      specs_.push_back(spec);
+    }
+  }
+}
+
+bool Cluster::same_node(int a, int b) const {
+  return device(a).node == device(b).node;
+}
+
+double Cluster::link_gbps(int a, int b) const {
+  if (same_node(a, b)) {
+    return nodes_[static_cast<std::size_t>(device(a).node)].intra_gbps;
+  }
+  return ethernet_gBps();
+}
+
+std::uint64_t Cluster::total_usable_memory() const {
+  std::uint64_t total = 0;
+  for (const auto& s : specs_) total += s.usable_memory_bytes();
+  return total;
+}
+
+std::string Cluster::summary() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& n : nodes_) {
+    if (!first) os << " + ";
+    first = false;
+    os << n.gpu_count << "x" << gpu_spec(n.gpu_type).name;
+  }
+  os << ", " << ethernet_gbit_ << "Gbps";
+  return os.str();
+}
+
+Cluster homogeneous_cluster(std::string name, GpuType type, int count,
+                            double intra_gbps, double ethernet_gbit) {
+  Node node;
+  node.name = name + "-node0";
+  node.gpu_type = type;
+  node.gpu_count = count;
+  node.intra_gbps = intra_gbps;
+  return Cluster(std::move(name), {node}, ethernet_gbit);
+}
+
+}  // namespace sq::hw

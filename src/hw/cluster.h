@@ -1,0 +1,90 @@
+// Cluster topology: nodes of GPUs joined by Ethernet, GPUs within a node
+// joined by NVLink/PCIe.  The paper (Sec. VI-A) builds 10 clusters from
+// production nodes; GPUs of one type share a node (NVLink intra-connect),
+// nodes are joined by 100 Gbps or 800 Gbps Ethernet.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hw/gpu.h"
+
+namespace sq::hw {
+
+/// A machine holding one or more GPUs of a single type.
+struct Node {
+  std::string name;            ///< e.g. "node-v100-0".
+  GpuType gpu_type = GpuType::kV100;
+  int gpu_count = 0;           ///< GPUs on this node.
+  double intra_gbps = 300.0;   ///< GPU<->GPU bandwidth inside the node, GB/s
+                               ///< (NVLink for the paper's nodes).
+  std::string cpu_desc;        ///< Informational (paper lists host CPUs).
+  std::uint64_t host_ram_bytes = 0;  ///< Informational.
+};
+
+/// Flat handle to one GPU in a cluster.
+struct DeviceRef {
+  int node = 0;   ///< Index into Cluster::nodes.
+  int local = 0;  ///< GPU index within the node.
+};
+
+/// A heterogeneous serving cluster.
+///
+/// Devices are addressed by a flat index in [0, device_count()): node 0's
+/// GPUs first, then node 1's, etc.  Pipeline communication bandwidth
+/// between two devices is the intra-node link when they share a node and
+/// the inter-node Ethernet otherwise.
+class Cluster {
+ public:
+  Cluster() = default;
+
+  /// Construct from nodes and an inter-node Ethernet speed in Gbit/s
+  /// (the paper uses 100 Gbps and 800 Gbps fabrics).
+  Cluster(std::string name, std::vector<Node> nodes, double ethernet_gbit);
+
+  /// Cluster display name (e.g. "cluster-5").
+  const std::string& name() const { return name_; }
+
+  /// All nodes.
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Total number of GPUs.
+  int device_count() const { return static_cast<int>(devices_.size()); }
+
+  /// Node/local coordinates of flat device index `i`.
+  DeviceRef device(int i) const { return devices_.at(static_cast<std::size_t>(i)); }
+
+  /// Spec of flat device index `i`.
+  const GpuSpec& spec(int i) const { return specs_.at(static_cast<std::size_t>(i)); }
+
+  /// True when devices `a` and `b` are on the same node.
+  bool same_node(int a, int b) const;
+
+  /// Point-to-point bandwidth between devices `a` and `b` in GB/s.
+  /// Returns intra-node bandwidth when a == b (self links never gate).
+  double link_gbps(int a, int b) const;
+
+  /// Inter-node Ethernet bandwidth in GB/s.
+  double ethernet_gBps() const { return ethernet_gbit_ / 8.0; }
+
+  /// Sum of usable memory over all devices, bytes.
+  std::uint64_t total_usable_memory() const;
+
+  /// Human-readable one-line summary ("3xT4-16G + 1xV100-32G, 800Gbps").
+  std::string summary() const;
+
+ private:
+  std::string name_;
+  std::vector<Node> nodes_;
+  double ethernet_gbit_ = 800.0;
+  std::vector<DeviceRef> devices_;
+  std::vector<GpuSpec> specs_;
+};
+
+/// Convenience: build a single-type, single-node cluster (e.g. "4xA100").
+Cluster homogeneous_cluster(std::string name, GpuType type, int count,
+                            double intra_gbps = 300.0,
+                            double ethernet_gbit = 800.0);
+
+}  // namespace sq::hw

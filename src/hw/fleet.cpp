@@ -1,0 +1,50 @@
+#include "hw/fleet.h"
+
+#include <algorithm>
+
+#include "tensor/rng.h"
+
+namespace sq::hw {
+
+FleetStats production_fleet_stats(int months, std::uint64_t seed) {
+  // Qualitative anchors from Fig. 1: A100s are a small slice of the fleet
+  // but run near-saturated (training + large-model inference); T4s are the
+  // most numerous and mostly idle; V100/P100 sit in between.
+  struct Anchor {
+    GpuType type;
+    double share;
+    double base_util;
+    double jitter;
+  };
+  const Anchor anchors[] = {
+      {GpuType::kT4, 0.42, 0.28, 0.05},
+      {GpuType::kV100, 0.28, 0.46, 0.06},
+      {GpuType::kP100, 0.20, 0.17, 0.04},
+      {GpuType::kA100_40G, 0.10, 0.88, 0.04},
+  };
+
+  FleetStats stats;
+  stats.months = months;
+  sq::tensor::Rng rng(seed);
+  for (const auto& a : anchors) {
+    FleetEntry e;
+    e.type = a.type;
+    e.fleet_share = a.share;
+    e.monthly_utilization.reserve(static_cast<std::size_t>(months));
+    for (int m = 0; m < months; ++m) {
+      const double u = a.base_util + rng.normal(0.0, a.jitter);
+      e.monthly_utilization.push_back(std::clamp(u, 0.0, 1.0));
+    }
+    stats.entries.push_back(std::move(e));
+  }
+  return stats;
+}
+
+double mean_utilization(const FleetEntry& e) {
+  if (e.monthly_utilization.empty()) return 0.0;
+  double acc = 0.0;
+  for (double u : e.monthly_utilization) acc += u;
+  return acc / static_cast<double>(e.monthly_utilization.size());
+}
+
+}  // namespace sq::hw

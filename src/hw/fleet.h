@@ -1,0 +1,42 @@
+// Synthetic production-fleet inventory and utilization trace (Fig. 1).
+//
+// The paper motivates SplitQuant with statistics from a ByteDance
+// production cluster: the fleet is dominated by mid/low-tier inference
+// GPUs (T4, V100, P100) while the scarce A100s run hot.  We cannot access
+// that cluster, so we generate a seeded synthetic fleet whose type shares
+// and monthly utilization rates match the qualitative picture of Fig. 1:
+// few A100s at very high utilization, many lower-tier GPUs at low
+// utilization — exactly the idle capacity SplitQuant wants to harvest.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/gpu.h"
+
+namespace sq::hw {
+
+/// One GPU type's share of the fleet and its monthly utilization series.
+struct FleetEntry {
+  GpuType type = GpuType::kV100;
+  double fleet_share = 0.0;  ///< Fraction of fleet GPUs of this type, [0,1].
+  /// Monthly utilization (effective GPU-hours / available GPU-hours) over
+  /// the sampled window, each in [0, 1].
+  std::vector<double> monthly_utilization;
+};
+
+/// Fleet snapshot: per-type shares summing to 1 and utilization series of
+/// equal length.
+struct FleetStats {
+  std::vector<FleetEntry> entries;
+  int months = 0;  ///< Length of each utilization series.
+};
+
+/// Generate the synthetic fleet trace.  `months` controls the utilization
+/// window; `seed` makes the jitter reproducible.
+FleetStats production_fleet_stats(int months = 6, std::uint64_t seed = 2025);
+
+/// Mean of a utilization series.
+double mean_utilization(const FleetEntry& e);
+
+}  // namespace sq::hw

@@ -1,0 +1,160 @@
+#include "hw/gpu.h"
+
+#include <algorithm>
+
+namespace sq::hw {
+
+const char* to_string(Bitwidth b) {
+  switch (b) {
+    case Bitwidth::kInt3: return "int3";
+    case Bitwidth::kInt4: return "int4";
+    case Bitwidth::kInt8: return "int8";
+    case Bitwidth::kFp16: return "fp16";
+  }
+  return "?";
+}
+
+const char* to_string(GpuType t) {
+  switch (t) {
+    case GpuType::kT4: return "T4";
+    case GpuType::kP100: return "P100";
+    case GpuType::kV100: return "V100";
+    case GpuType::kA100_40G: return "A100-40G";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr std::uint64_t kGiB = 1ULL << 30;
+
+// CUDA context + allocator reserve subtracted from raw capacity, per the
+// paper's constraint (12) note ("GPU memory minus those consumed by cuda
+// context").
+constexpr std::uint64_t kContextReserveBytes = 1536ULL << 20;  // 1.5 GiB
+
+// Fused weight-only (GPTQ/Marlin-style) GEMM kernels trail cuBLAS FP16 in
+// compute-bound regimes; this derating makes FP16 retain its prefill
+// advantage over 3/4-bit, matching Fig. 5.
+constexpr double kWeightOnlyComputePenalty = 0.75;
+
+// dp4a-style INT8 without tensor cores reaches only part of nominal TOPS
+// and is shape-sensitive ("V100's INT8 performance depends on the input
+// shape", Sec. II-E); the shape dependence itself lives in the kernel model.
+constexpr double kDp4aPenalty = 0.80;
+
+}  // namespace
+
+std::uint64_t GpuSpec::usable_memory_bytes() const {
+  const std::uint64_t reserve =
+      kContextReserveBytes + memory_bytes / 20;  // context + 5% fragmentation
+  return memory_bytes > reserve ? memory_bytes - reserve : 0;
+}
+
+bool GpuSpec::needs_dequant(Bitwidth b) const {
+  if (b == Bitwidth::kFp16) return false;
+  if (b == Bitwidth::kInt8) return !has_fast_int8;
+  return true;  // 3/4-bit are always weight-only.
+}
+
+double GpuSpec::effective_tflops(Bitwidth b, bool prefill) const {
+  const double phase_eff = prefill ? prefill_eff : decode_eff;
+  double base = fp16_tflops * fp16_eff;
+  if (b == Bitwidth::kInt8 && has_fast_int8) {
+    base = int8_tops * (has_int8_tensor_core ? 1.0 : kDp4aPenalty);
+  } else if (needs_dequant(b)) {
+    base *= kWeightOnlyComputePenalty;
+  }
+  return base * phase_eff;
+}
+
+GpuSpec gpu_spec(GpuType type) {
+  GpuSpec g;
+  g.type = type;
+  switch (type) {
+    case GpuType::kT4:
+      // Turing TU104 inference card.
+      g.name = "T4-16G";
+      g.memory_bytes = 16 * kGiB;
+      g.hbm_gbps = 320.0;
+      g.fp16_tflops = 65.0;
+      g.fp32_tflops = 8.1;
+      g.int8_tops = 130.0;
+      g.has_fp16_tensor_core = true;
+      g.has_int8_tensor_core = true;
+      g.has_fast_int8 = true;
+      g.prefill_eff = 0.55;
+      g.decode_eff = 0.40;
+      g.mem_eff = 0.72;
+      g.fp16_eff = 1.0;
+      g.dequant_ns_per_kelem = 0.45;
+      g.kernel_launch_us = 7.0;
+      break;
+    case GpuType::kP100:
+      // Pascal GP100, 12 GB variant (Table III cluster 6).  No tensor
+      // cores; the FP16 "2x" path underdelivers badly in practice, and
+      // there is no fast INT8, so every quantized kernel is weight-only.
+      // fp16_eff/decode_eff are calibrated to the paper's Fig. 3 ratios
+      // (prefill 14.5x, decode 7.3x slower than V100 at FP16).
+      g.name = "P100-12G";
+      g.memory_bytes = 12 * kGiB;
+      g.hbm_gbps = 549.0;
+      g.fp16_tflops = 18.7;
+      g.fp32_tflops = 9.3;
+      g.int8_tops = 0.0;
+      g.has_fp16_tensor_core = false;
+      g.has_int8_tensor_core = false;
+      g.has_fast_int8 = false;
+      g.prefill_eff = 0.74;
+      g.decode_eff = 0.18;
+      g.mem_eff = 0.78;
+      g.fp16_eff = 0.37;
+      g.dequant_ns_per_kelem = 3.0;
+      g.kernel_launch_us = 10.0;
+      break;
+    case GpuType::kV100:
+      // Volta GV100, 32 GB SXM2.
+      g.name = "V100-32G";
+      g.memory_bytes = 32 * kGiB;
+      g.hbm_gbps = 900.0;
+      g.fp16_tflops = 112.0;
+      g.fp32_tflops = 15.7;
+      g.int8_tops = 62.8;  // dp4a, no INT8 tensor cores.
+      g.has_fp16_tensor_core = true;
+      g.has_int8_tensor_core = false;
+      g.has_fast_int8 = true;
+      g.prefill_eff = 0.65;
+      g.decode_eff = 0.50;
+      g.mem_eff = 0.80;
+      g.fp16_eff = 1.0;
+      g.dequant_ns_per_kelem = 0.55;
+      g.kernel_launch_us = 6.0;
+      break;
+    case GpuType::kA100_40G:
+      // Ampere GA100, 40 GB SXM4.
+      g.name = "A100-40G";
+      g.memory_bytes = 40 * kGiB;
+      g.hbm_gbps = 1555.0;
+      g.fp16_tflops = 312.0;
+      g.fp32_tflops = 19.5;
+      g.int8_tops = 624.0;
+      g.has_fp16_tensor_core = true;
+      g.has_int8_tensor_core = true;
+      g.has_fast_int8 = true;
+      g.prefill_eff = 0.62;
+      g.decode_eff = 0.55;
+      g.mem_eff = 0.85;
+      g.fp16_eff = 1.0;
+      g.dequant_ns_per_kelem = 0.30;
+      g.kernel_launch_us = 5.0;
+      break;
+  }
+  return g;
+}
+
+double arithmetic_intensity(const GpuSpec& g) {
+  if (g.hbm_gbps <= 0.0) return 0.0;
+  return g.fp16_tflops * 1e12 / (g.hbm_gbps * 1e9);
+}
+
+}  // namespace sq::hw

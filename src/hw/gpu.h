@@ -1,0 +1,99 @@
+// GPU device model.
+//
+// The paper evaluates on physical NVIDIA T4 / P100 / V100 / A100-40G
+// devices.  We substitute a calibrated spec sheet per device: published
+// datasheet capacities (memory, HBM bandwidth, per-precision peak
+// throughput) plus per-precision *efficiency factors* tuned so that the
+// simulated kernel times reproduce the execution-time ratios the paper
+// measures (Fig. 3: P100 prefill 14.5x slower than V100 at FP16, decode
+// 7.3x; Fig. 5: T4's INT8 tensor cores make 8-bit competitive with FP16,
+// V100's dp4a INT8 is shape-dependent, 3/4-bit weight-only pays dequant
+// overhead that only wins when memory-bound).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sq::hw {
+
+/// Device generations used in the paper's production clusters.
+enum class GpuType {
+  kT4,        ///< Turing inference card: 16 GB, INT8 tensor cores.
+  kP100,      ///< Pascal: no tensor cores, no fast INT8 (pre-dp4a).
+  kV100,      ///< Volta: FP16 tensor cores, dp4a INT8.
+  kA100_40G,  ///< Ampere: 40 GB, FP16+INT8 tensor cores, huge bandwidth.
+};
+
+/// Quantization bitwidths considered by the planner (paper Sec. IV-C:
+/// BITs = {3, 4, 8, 16}).  16 means unquantized FP16 weights.
+enum class Bitwidth : int { kInt3 = 3, kInt4 = 4, kInt8 = 8, kFp16 = 16 };
+
+/// All candidate bitwidths, widest first.
+inline constexpr Bitwidth kAllBitwidths[] = {Bitwidth::kFp16, Bitwidth::kInt8,
+                                             Bitwidth::kInt4, Bitwidth::kInt3};
+
+/// Integral value of a bitwidth (3, 4, 8 or 16).
+constexpr int bits(Bitwidth b) { return static_cast<int>(b); }
+
+/// Short display name ("fp16", "int8", ...).
+const char* to_string(Bitwidth b);
+
+/// Short display name ("T4", "P100", ...).
+const char* to_string(GpuType t);
+
+/// Per-device capability and calibration record.
+///
+/// `*_eff` members are dimensionless utilization factors in (0, 1] applied
+/// to the corresponding peak: real kernels never reach datasheet peaks, and
+/// how far they fall short differs per generation and precision.  The
+/// dequant overhead models weight-only kernels (INT3/INT4 and, on devices
+/// without native INT8 paths, INT8): each weight element costs extra ALU
+/// work to expand to FP16 before the matmul.
+struct GpuSpec {
+  GpuType type = GpuType::kV100;
+  std::string name;               ///< Human-readable, e.g. "V100-32G".
+  std::uint64_t memory_bytes = 0; ///< Total device memory.
+  double hbm_gbps = 0.0;          ///< Memory bandwidth, GB/s.
+  double fp16_tflops = 0.0;       ///< Peak FP16 (tensor core if present).
+  double fp32_tflops = 0.0;       ///< Peak FP32.
+  double int8_tops = 0.0;         ///< Peak INT8 (tensor core / dp4a).
+  bool has_fp16_tensor_core = false;  ///< Volta+.
+  bool has_int8_tensor_core = false;  ///< Turing+/Ampere.
+  bool has_fast_int8 = false;         ///< dp4a or tensor-core INT8.
+
+  double prefill_eff = 0.6;   ///< Utilization of peak compute in prefill.
+  double decode_eff = 0.5;    ///< Utilization in small-batch decode GEMV.
+  double mem_eff = 0.75;      ///< Achievable fraction of HBM bandwidth.
+  double fp16_eff = 1.0;      ///< Extra derating for FP16 math (e.g. P100
+                              ///< half2 path is far below its nominal 2x).
+  double dequant_ns_per_kelem = 0.0;  ///< Weight-only dequant cost,
+                                      ///< nanoseconds per 1024 weights.
+  double kernel_launch_us = 6.0;      ///< Fixed per-layer launch overhead.
+
+  /// Memory available to the serving engine: total minus the CUDA context
+  /// and allocator reserve (the paper subtracts context memory in
+  /// constraint (12)).
+  std::uint64_t usable_memory_bytes() const;
+
+  /// Effective compute throughput in TFLOP/s for a dense matmul executed at
+  /// `b`-bit weights during `prefill ? prefill : decode`.  Weight-only
+  /// bitwidths run their MACs in FP16; devices without fast INT8 fall back
+  /// to the same path for 8-bit.
+  double effective_tflops(Bitwidth b, bool prefill) const;
+
+  /// Effective memory bandwidth in GB/s.
+  double effective_gbps() const { return hbm_gbps * mem_eff; }
+
+  /// True when weights of bitwidth `b` must be dequantized to FP16 before
+  /// the matmul on this device (weight-only kernel).
+  bool needs_dequant(Bitwidth b) const;
+};
+
+/// Datasheet+calibration spec for a device generation.
+GpuSpec gpu_spec(GpuType type);
+
+/// FLOPs-per-byte arithmetic intensity of the device at FP16 — the
+/// compute-to-memory gap the paper cites (T4 and A100 are ~200x).
+double arithmetic_intensity(const GpuSpec& g);
+
+}  // namespace sq::hw

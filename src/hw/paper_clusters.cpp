@@ -1,0 +1,85 @@
+#include "hw/paper_clusters.h"
+
+#include <stdexcept>
+
+namespace sq::hw {
+
+namespace {
+
+constexpr std::uint64_t kGiB = 1ULL << 30;
+
+Node make_node(GpuType type, int count, int index) {
+  Node n;
+  n.gpu_type = type;
+  n.gpu_count = count;
+  switch (type) {
+    case GpuType::kP100:
+      n.name = "node-p100-" + std::to_string(index);
+      n.intra_gbps = 80.0;  // First-generation NVLink.
+      n.cpu_desc = "2x Intel Xeon E5-2630 v4 @2.2GHz";
+      n.host_ram_bytes = 64 * kGiB;
+      break;
+    case GpuType::kV100:
+      n.name = "node-v100-" + std::to_string(index);
+      n.intra_gbps = 300.0;  // NVLink2.
+      n.cpu_desc = "2x Intel Xeon Gold 6230 @2.1GHz";
+      n.host_ram_bytes = 128 * kGiB;
+      break;
+    case GpuType::kT4:
+      n.name = "node-t4-" + std::to_string(index);
+      n.intra_gbps = 32.0;  // T4 nodes are PCIe-attached.
+      n.cpu_desc = "2x Intel Xeon Platinum 8260";
+      n.host_ram_bytes = 108 * kGiB;
+      break;
+    case GpuType::kA100_40G:
+      n.name = "node-a100-" + std::to_string(index);
+      n.intra_gbps = 600.0;  // NVLink3.
+      n.cpu_desc = "2x AMD EPYC 7H12 64-Core";
+      n.host_ram_bytes = 256 * kGiB;
+      break;
+  }
+  return n;
+}
+
+}  // namespace
+
+Cluster paper_cluster(int id) {
+  switch (id) {
+    case 1:
+      return Cluster("cluster-1", {make_node(GpuType::kV100, 1, 0)}, 800.0);
+    case 2:
+      return Cluster("cluster-2",
+                     {make_node(GpuType::kV100, 2, 0), make_node(GpuType::kA100_40G, 1, 1)},
+                     800.0);
+    case 3:
+      return Cluster("cluster-3",
+                     {make_node(GpuType::kV100, 1, 0), make_node(GpuType::kA100_40G, 1, 1)},
+                     800.0);
+    case 4:
+      return Cluster("cluster-4",
+                     {make_node(GpuType::kV100, 3, 0), make_node(GpuType::kA100_40G, 1, 1)},
+                     800.0);
+    case 5:
+      return Cluster("cluster-5",
+                     {make_node(GpuType::kT4, 3, 0), make_node(GpuType::kV100, 1, 1)},
+                     800.0);
+    case 6:
+      return Cluster("cluster-6",
+                     {make_node(GpuType::kP100, 3, 0), make_node(GpuType::kV100, 1, 1)},
+                     100.0);
+    case 7:
+      return Cluster("cluster-7",
+                     {make_node(GpuType::kT4, 4, 0), make_node(GpuType::kV100, 2, 1)},
+                     800.0);
+    case 8:
+      return Cluster("cluster-8", {make_node(GpuType::kT4, 4, 0)}, 100.0);
+    case 9:
+      return Cluster("cluster-9", {make_node(GpuType::kV100, 4, 0)}, 800.0);
+    case 10:
+      return Cluster("cluster-10", {make_node(GpuType::kA100_40G, 4, 0)}, 800.0);
+    default:
+      throw std::out_of_range("paper_cluster: id must be in [1, 10]");
+  }
+}
+
+}  // namespace sq::hw

@@ -1,0 +1,19 @@
+// The 10 evaluation clusters of Table III.
+//
+// GPUs of the same type share a node (NVLink intra-connect); clusters 1, 8,
+// 9, 10 are single-node; clusters 6 and 8 use 100 Gbps Ethernet, the rest
+// 800 Gbps.  Host CPU / RAM details from Sec. VI-A are recorded for
+// completeness (they are informational for the simulator).
+#pragma once
+
+#include "hw/cluster.h"
+
+namespace sq::hw {
+
+/// Number of clusters defined in Table III.
+inline constexpr int kPaperClusterCount = 10;
+
+/// Build paper cluster `id` in [1, 10].  Throws std::out_of_range otherwise.
+Cluster paper_cluster(int id);
+
+}  // namespace sq::hw

@@ -1,0 +1,104 @@
+#include "model/llm.h"
+
+#include <algorithm>
+
+namespace sq::model {
+
+const char* to_string(Phase p) {
+  return p == Phase::kPrefill ? "prefill" : "decode";
+}
+
+std::uint64_t LlmSpec::layer_linear_params() const {
+  // Paper formula 4*h1^2 + 2*h1*h2 for classic MHA+MLP decoders; grouped-
+  // query attention shrinks the K/V projections and SwiGLU adds a third
+  // MLP matrix for the Qwen/Llama families.
+  const std::uint64_t kvd = kv_dim == 0 ? h1 : kv_dim;
+  const std::uint64_t attn = 2 * h1 * h1 + 2 * h1 * kvd;
+  const std::uint64_t mlp = (mlp_gated ? 3ULL : 2ULL) * h1 * h2;
+  return attn + mlp;
+}
+
+std::uint64_t LlmSpec::layer_norm_params() const {
+  return 6 * h1;
+}
+
+std::uint64_t LlmSpec::total_params() const {
+  std::uint64_t emb = vocab_s * d_t + (learned_pos_emb ? pos_s * d_t : 0);
+  if (h1 != d_t) emb += 2 * h1 * d_t;
+  const std::uint64_t head = vocab_s * d_t;
+  return emb + head +
+         static_cast<std::uint64_t>(n_layers) * (layer_linear_params() + layer_norm_params());
+}
+
+std::uint64_t LlmSpec::layer_weight_bytes(Bitwidth b) const {
+  // Linear weights: bit/8 bytes per element (the paper's 4*bit/32 of the
+  // FP32 footprint).  Norm parameters stay at 2 bytes (FP16).
+  const std::uint64_t linear_bits =
+      layer_linear_params() * static_cast<std::uint64_t>(sq::hw::bits(b));
+  return linear_bits / 8 + layer_norm_params() * 2;
+}
+
+std::uint64_t LlmSpec::embedding_bytes() const {
+  std::uint64_t params = vocab_s * d_t + (learned_pos_emb ? pos_s * d_t : 0);
+  if (h1 != d_t) params += 2 * h1 * d_t;
+  params += vocab_s * d_t;  // LM head.
+  return params * 2;        // FP16, never quantized (paper Sec. IV-A).
+}
+
+std::uint64_t LlmSpec::layer_kv_bytes(std::uint64_t ctx, Bitwidth bit_kv) const {
+  const std::uint64_t kvd = kv_dim == 0 ? h1 : kv_dim;
+  return 2 * ctx * kvd * static_cast<std::uint64_t>(sq::hw::bits(bit_kv)) / 8;
+}
+
+double LlmSpec::layer_prefill_flops(std::uint64_t v, std::uint64_t s) const {
+  // Dense projections: 2 FLOPs per MAC over all linear params, per token.
+  const double proj = 2.0 * static_cast<double>(layer_linear_params()) *
+                      static_cast<double>(v) * static_cast<double>(s);
+  // Attention scores + weighted values: 2 * (2 * s^2 * h1) per sequence.
+  const double attn = 4.0 * static_cast<double>(v) * static_cast<double>(s) *
+                      static_cast<double>(s) * static_cast<double>(h1);
+  return proj + attn;
+}
+
+double LlmSpec::layer_decode_flops(std::uint64_t v, std::uint64_t ctx) const {
+  const double proj =
+      2.0 * static_cast<double>(layer_linear_params()) * static_cast<double>(v);
+  const double attn = 4.0 * static_cast<double>(v) * static_cast<double>(ctx) *
+                      static_cast<double>(h1);
+  return proj + attn;
+}
+
+double LlmSpec::layer_prefill_mops(std::uint64_t v, std::uint64_t s, Bitwidth b) const {
+  const double weights = static_cast<double>(layer_weight_bytes(b));
+  // Activations in/out of each of the 6 linear ops, FP16.
+  const double act = 6.0 * 2.0 * static_cast<double>(v) * static_cast<double>(s) *
+                     static_cast<double>(h1);
+  const double kv_write =
+      static_cast<double>(v) * static_cast<double>(layer_kv_bytes(s, Bitwidth::kFp16));
+  return weights + act + kv_write;
+}
+
+double LlmSpec::layer_decode_mops(std::uint64_t v, std::uint64_t ctx, Bitwidth b,
+                                  Bitwidth bit_kv) const {
+  const double weights = static_cast<double>(layer_weight_bytes(b));
+  const double kv_read =
+      static_cast<double>(v) * static_cast<double>(layer_kv_bytes(ctx, bit_kv));
+  const double act = 6.0 * 2.0 * static_cast<double>(v) * static_cast<double>(h1);
+  return weights + kv_read + act;
+}
+
+double LlmSpec::lm_head_flops(std::uint64_t rows) const {
+  return 2.0 * static_cast<double>(rows) * static_cast<double>(d_t) *
+         static_cast<double>(vocab_s);
+}
+
+std::uint64_t LlmSpec::layer_peak_activation_bytes(std::uint64_t v, std::uint64_t s) const {
+  // Prefill worst case: per-head attention score matrix [v, heads, s, s]
+  // in FP16 plus the widest activation [v, s, h2].
+  const std::uint64_t scores =
+      2 * v * static_cast<std::uint64_t>(n_heads) * s * s;
+  const std::uint64_t widest = 2 * v * s * std::max(h1, h2);
+  return scores + widest;
+}
+
+}  // namespace sq::model

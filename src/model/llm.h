@@ -1,0 +1,98 @@
+// LLM architecture description and per-layer compute/memory accounting.
+//
+// This is the model the *planner* reasons about: decoder-only transformers
+// described by their dimensions (Table II notation).  Per-phase FLOPs and
+// memory-operation (MOPs) counts follow the standard transformer roofline
+// accounting and drive both the kernel-time simulator (src/sim) and the
+// latency cost-model features (src/cost).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hw/gpu.h"
+
+namespace sq::model {
+
+using sq::hw::Bitwidth;
+
+/// Token-generation phase (Fig. 2 of the paper).
+enum class Phase {
+  kPrefill,  ///< Whole prompt processed at once; compute-bound.
+  kDecode,   ///< One token per step against the KV cache; memory-bound.
+};
+
+/// Short display name ("prefill" / "decode").
+const char* to_string(Phase p);
+
+/// Decoder-only transformer architecture (paper Table II symbols noted).
+struct LlmSpec {
+  std::string name;          ///< e.g. "OPT-30B".
+  std::string family;        ///< "opt", "bloom", "qwen2.5", "llama3".
+  std::uint64_t h1 = 0;      ///< Hidden dimension of transformer layers.
+  std::uint64_t h2 = 0;      ///< Hidden dimension of the 2nd MLP layer (FFN).
+  int n_layers = 0;          ///< L: decoder layer count.
+  int n_heads = 0;           ///< Attention heads.
+  std::uint64_t d_t = 0;     ///< Word-embedding projection dimension.
+  std::uint64_t vocab_s = 0; ///< Vocabulary size.
+  std::uint64_t pos_s = 0;   ///< Max position embeddings (context limit).
+  std::uint64_t kv_dim = 0;  ///< Per-token K (=V) width; < h1 under GQA
+                             ///< (Qwen/Llama).  0 means "equal to h1".
+  bool learned_pos_emb = true;  ///< OPT/BLOOM use learned position tables.
+  bool mlp_gated = false;    ///< SwiGLU MLP (3 matrices) in Qwen/Llama.
+
+  /// Total parameters (embeddings + decoder stack + LM head).
+  std::uint64_t total_params() const;
+
+  /// Parameters of one decoder layer that are subject to quantization
+  /// (the 4 attention projections and 2 MLP matrices:
+  /// 4*h1^2 + 2*h1*h2, per the paper's memory model).
+  std::uint64_t layer_linear_params() const;
+
+  /// LayerNorm parameters of one decoder layer (kept FP16):
+  /// 6*h1 with biases (pre-attn + pre-mlp gain/bias + 2 linear biases
+  /// folded in), matching the paper's "6 x h1 or 4 x h1" term.
+  std::uint64_t layer_norm_params() const;
+
+  /// Bytes of one decoder layer's weights at bitwidth `b`.  Linear weights
+  /// scale with the bitwidth (4*bit/32 of their FP32 footprint, i.e.
+  /// bit/8 bytes per element); norm parameters stay FP16.
+  std::uint64_t layer_weight_bytes(Bitwidth b) const;
+
+  /// Bytes of embedding-side weights kept on the master/first stage:
+  /// token embeddings (vocab_s * d_t), position embeddings (pos_s * d_t),
+  /// input/output projections (2 * h1 * d_t when h1 != d_t) and the LM
+  /// head (vocab_s * d_t).  Always FP16, per the paper.
+  std::uint64_t embedding_bytes() const;
+
+  /// Per-request KV-cache bytes for one layer at context length `ctx`
+  /// tokens and KV bitwidth `bit_kv`: 2 * ctx * h1 * bit/8.
+  std::uint64_t layer_kv_bytes(std::uint64_t ctx, Bitwidth bit_kv) const;
+
+  /// FLOPs of one decoder layer in the prefill phase for batch `v` and
+  /// prompt length `s` (dense projections + attention score/value matmuls).
+  double layer_prefill_flops(std::uint64_t v, std::uint64_t s) const;
+
+  /// FLOPs of one decoder layer for a single decode step at batch `v` with
+  /// `ctx` tokens already in the KV cache.
+  double layer_decode_flops(std::uint64_t v, std::uint64_t ctx) const;
+
+  /// Bytes moved by one decoder layer in prefill: weights (at bitwidth b)
+  /// + activations + KV write.
+  double layer_prefill_mops(std::uint64_t v, std::uint64_t s, Bitwidth b) const;
+
+  /// Bytes moved by one decode step: weights (streamed every step) +
+  /// KV-cache read + small activations.
+  double layer_decode_mops(std::uint64_t v, std::uint64_t ctx, Bitwidth b,
+                           Bitwidth bit_kv) const;
+
+  /// FLOPs of the LM head (logit projection) for `rows` token positions.
+  double lm_head_flops(std::uint64_t rows) const;
+
+  /// Peak activation bytes of one decoder layer (worst case over phases),
+  /// for batch `v` and sequence length `s`: the attention score matrix in
+  /// prefill dominates.
+  std::uint64_t layer_peak_activation_bytes(std::uint64_t v, std::uint64_t s) const;
+};
+
+}  // namespace sq::model

@@ -1,0 +1,118 @@
+#include "nn/probe.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace sq::nn {
+
+std::vector<std::vector<int>> sample_sequences(const TinyConfig& cfg, int count,
+                                               std::size_t seq_len,
+                                               std::uint64_t seed) {
+  // Zipf-like sampling via inverse-power transform of a uniform draw.
+  sq::tensor::Rng rng(seed);
+  const double alpha = 1.1;
+  std::vector<std::vector<int>> seqs;
+  seqs.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    std::vector<int> s(std::min(seq_len, cfg.max_seq));
+    for (auto& tok : s) {
+      const double u = std::max(rng.uniform(), 1e-12);
+      const double rank = std::pow(u, -1.0 / alpha) - 1.0;
+      tok = static_cast<int>(std::min<double>(rank, static_cast<double>(cfg.vocab - 1)));
+    }
+    seqs.push_back(std::move(s));
+  }
+  return seqs;
+}
+
+std::vector<LayerQuant> uniform_config(int n_layers, Bitwidth b) {
+  std::vector<LayerQuant> cfg(static_cast<std::size_t>(n_layers));
+  for (auto& lq : cfg) lq.bits = b;
+  return cfg;
+}
+
+std::vector<LayerQuant> range_config(int n_layers, int first, int last, Bitwidth b) {
+  std::vector<LayerQuant> cfg(static_cast<std::size_t>(n_layers));
+  for (int l = 0; l < n_layers; ++l) {
+    cfg[static_cast<std::size_t>(l)].bits =
+        (l >= first && l < last) ? b : Bitwidth::kFp16;
+  }
+  return cfg;
+}
+
+std::vector<LayerQuant> mixed_config(int n_layers, std::span<const Bitwidth> choices,
+                                     std::uint64_t seed) {
+  sq::tensor::Rng rng(seed);
+  std::vector<LayerQuant> cfg(static_cast<std::size_t>(n_layers));
+  for (auto& lq : cfg) {
+    lq.bits = choices[rng.below(choices.size())];
+  }
+  return cfg;
+}
+
+std::vector<LayerQuant> config_from_bits(std::span<const Bitwidth> per_layer) {
+  std::vector<LayerQuant> cfg(per_layer.size());
+  for (std::size_t i = 0; i < per_layer.size(); ++i) cfg[i].bits = per_layer[i];
+  return cfg;
+}
+
+namespace {
+
+/// Softmax of a logits row into `out` (probability vector).
+void softmax_row(std::span<const float> logits, std::vector<double>& out) {
+  out.resize(logits.size());
+  const float mx = *std::max_element(logits.begin(), logits.end());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp(static_cast<double>(logits[i] - mx));
+    sum += out[i];
+  }
+  for (auto& v : out) v /= sum;
+}
+
+}  // namespace
+
+QualityReport evaluate_quality(const TinyTransformer& model,
+                               std::span<const LayerQuant> quant,
+                               std::span<const std::vector<int>> sequences,
+                               std::size_t warmup) {
+  QualityReport rep;
+  double ce_total = 0.0, kl_total = 0.0;
+  std::size_t positions = 0, agree = 0;
+  std::vector<double> p_ref, p_q;
+
+  for (const auto& seq : sequences) {
+    const Tensor ref = model.forward(seq);
+    const Tensor qlog = model.forward(seq, quant);
+    for (std::size_t i = warmup; i < ref.rows(); ++i) {
+      softmax_row(ref.row(i), p_ref);
+      softmax_row(qlog.row(i), p_q);
+      double ce = 0.0, kl = 0.0;
+      for (std::size_t v = 0; v < p_ref.size(); ++v) {
+        const double p = std::max(p_ref[v], 1e-12);
+        const double q = std::max(p_q[v], 1e-12);
+        ce -= p * std::log(q);
+        kl += p * std::log(p / q);
+      }
+      ce_total += ce;
+      kl_total += kl;
+      const auto ref_row = ref.row(i);
+      const auto q_row = qlog.row(i);
+      const auto ref_arg = std::max_element(ref_row.begin(), ref_row.end()) - ref_row.begin();
+      const auto q_arg = std::max_element(q_row.begin(), q_row.end()) - q_row.begin();
+      agree += (ref_arg == q_arg) ? 1 : 0;
+      ++positions;
+    }
+  }
+  if (positions > 0) {
+    rep.ppl_proxy = std::exp(ce_total / static_cast<double>(positions));
+    rep.mean_kl = kl_total / static_cast<double>(positions);
+    rep.accuracy = static_cast<double>(agree) / static_cast<double>(positions);
+  }
+  return rep;
+}
+
+}  // namespace sq::nn

@@ -1,0 +1,58 @@
+// Measured model-quality probes on the tiny transformer.
+//
+// These produce the numbers behind Fig. 4 (precision schemes vs quality),
+// Table I (which layer ranges hurt most) and Table V (indicator quality):
+// a quantized forward pass is compared against the FP32 reference on the
+// same token streams.  The perplexity proxy is exp of the soft cross
+// entropy between the reference output distribution and the quantized
+// model's distribution — equal to exp(H(ref) + KL(ref || quant)), so it
+// has the same "lower is better, FP16 is the floor" behaviour as true
+// perplexity; the accuracy proxy is top-1 agreement with the reference
+// (standing in for LAMBADA/ARC/PIQA zero-shot accuracy).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/transformer.h"
+
+namespace sq::nn {
+
+/// Quality of one quantization configuration, measured by forward passes.
+struct QualityReport {
+  double ppl_proxy = 0.0;  ///< exp(mean soft cross-entropy); lower better.
+  double accuracy = 0.0;   ///< Top-1 agreement with FP32 reference, [0,1].
+  double mean_kl = 0.0;    ///< Mean KL(ref || quant) per position, nats.
+};
+
+/// Sample `count` token sequences of length `seq_len` with a Zipf-like
+/// marginal (frequent tokens dominate, as in natural text).
+std::vector<std::vector<int>> sample_sequences(const TinyConfig& cfg, int count,
+                                               std::size_t seq_len,
+                                               std::uint64_t seed);
+
+/// Uniform per-layer config at bitwidth `b`.
+std::vector<LayerQuant> uniform_config(int n_layers, Bitwidth b);
+
+/// Config quantizing layers [first, last) to `b` and the rest to FP16 —
+/// the Table I experiment shape.
+std::vector<LayerQuant> range_config(int n_layers, int first, int last, Bitwidth b);
+
+/// Per-layer random mix of the given bitwidths (the paper's "mixed4-8" /
+/// "mixed3-4" stochastic allocation), seeded.
+std::vector<LayerQuant> mixed_config(int n_layers, std::span<const Bitwidth> choices,
+                                     std::uint64_t seed);
+
+/// Explicit per-layer bit assignment.
+std::vector<LayerQuant> config_from_bits(std::span<const Bitwidth> per_layer);
+
+/// Measure quality of `quant` against the FP32 reference of `model` on
+/// `sequences`.  Skips the first `warmup` positions of each sequence (they
+/// carry little context).
+QualityReport evaluate_quality(const TinyTransformer& model,
+                               std::span<const LayerQuant> quant,
+                               std::span<const std::vector<int>> sequences,
+                               std::size_t warmup = 2);
+
+}  // namespace sq::nn

@@ -1,0 +1,80 @@
+// Analytic model-quality estimator for billion-parameter configurations.
+//
+// For the tiny transformer we *measure* quality (src/nn/probe.h).  For the
+// paper's big models — whose checkpoints we do not have — this module maps
+// a mixed-precision plan to an estimated perplexity via the same variance
+// indicator the planner optimizes: PPL(plan) = PPL_fp16 + k_m * sum_i
+// omega_{i, b_i}, where k_m is calibrated per model so that a uniform
+// INT4 plan costs the paper-typical ~0.4 PPL (which automatically puts
+// uniform INT8 at ~negligible degradation and uniform INT3 in the
+// several-PPL range — the Fig. 4 shape, validated for real on the tiny
+// transformer).  Base perplexities are anchored to the values the paper
+// reports (Table V: OPT-30B ~10.75, OPT-66B ~10.3 over WikiText2/PTB/C4).
+// A zero-shot accuracy proxy decreases affinely with the PPL delta.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hw/gpu.h"
+#include "model/layer_stats.h"
+#include "model/llm.h"
+#include "quant/indicator.h"
+
+namespace sq::quality {
+
+using sq::hw::Bitwidth;
+
+/// Quality estimate for one plan.
+struct QualityEstimate {
+  double ppl = 0.0;        ///< Estimated average perplexity (WikiText2/PTB/C4).
+  double ppl_delta = 0.0;  ///< Degradation vs FP16.
+  double accuracy = 0.0;   ///< Zero-shot accuracy proxy (LAMBADA/ARC/PIQA), %.
+  double total_omega = 0.0;  ///< Raw indicator sum of the plan.
+};
+
+/// Calibrated estimator for one model.
+class QualityModel {
+ public:
+  /// Build from a model spec; derives the indicator table from the model's
+  /// synthetic calibration profile and calibrates k_m against uniform INT4.
+  explicit QualityModel(const sq::model::LlmSpec& m,
+                        std::span<const Bitwidth> bitwidths, std::uint64_t seed = 17);
+
+  /// Base (FP16) perplexity anchor for the model.
+  double base_ppl() const { return base_ppl_; }
+
+  /// Base zero-shot accuracy anchor (%).
+  double base_accuracy() const { return base_acc_; }
+
+  /// Indicator table used (shared with the planner so that quality
+  /// constraints and estimates agree).
+  const sq::quant::IndicatorTable& indicators() const { return table_; }
+
+  /// PPL-per-omega calibration factor.
+  double ppl_per_omega() const { return k_; }
+
+  /// Estimate quality of a per-layer bit assignment (size = n_layers).
+  QualityEstimate estimate(std::span<const Bitwidth> layer_bits) const;
+
+  /// Estimate from a raw indicator total (used when the plan was built
+  /// against this model's own indicator table).
+  QualityEstimate estimate_from_omega(double total_omega) const;
+
+  /// Estimate from a PPL-delta directly (used when the planner's indicator
+  /// was already normalized to PPL units, possibly with a different
+  /// indicator kind).
+  QualityEstimate estimate_from_ppl_delta(double ppl_delta) const;
+
+  /// Indicator sum of a uniform configuration at `b`.
+  double uniform_omega(Bitwidth b) const;
+
+ private:
+  sq::model::LlmSpec m_;
+  sq::quant::IndicatorTable table_;
+  double base_ppl_ = 10.0;
+  double base_acc_ = 62.0;
+  double k_ = 0.0;
+};
+
+}  // namespace sq::quality

@@ -1,0 +1,158 @@
+#include "quant/gptq.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "tensor/ops.h"
+
+namespace sq::quant {
+
+namespace {
+
+using sq::tensor::Tensor;
+
+/// Dense symmetric positive-definite inverse via Cholesky (sizes here are
+/// the layer input widths, at most a few hundred).
+std::vector<double> spd_inverse(const std::vector<double>& a, std::size_t n) {
+  // Cholesky factorization a = L L^T.
+  std::vector<double> l(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double acc = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) acc -= l[i * n + k] * l[j * n + k];
+      if (i == j) {
+        l[i * n + i] = std::sqrt(std::max(acc, 1e-12));
+      } else {
+        l[i * n + j] = acc / l[j * n + j];
+      }
+    }
+  }
+  // Invert by solving L L^T X = I column by column.
+  std::vector<double> inv(n * n, 0.0);
+  std::vector<double> y(n), x(n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Forward solve L y = e_col.
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = i == col ? 1.0 : 0.0;
+      for (std::size_t k = 0; k < i; ++k) acc -= l[i * n + k] * y[k];
+      y[i] = acc / l[i * n + i];
+    }
+    // Backward solve L^T x = y.
+    for (std::size_t ii = n; ii-- > 0;) {
+      double acc = y[ii];
+      for (std::size_t k = ii + 1; k < n; ++k) acc -= l[k * n + ii] * x[k];
+      x[ii] = acc / l[ii * n + ii];
+    }
+    for (std::size_t i = 0; i < n; ++i) inv[i * n + col] = x[i];
+  }
+  return inv;
+}
+
+/// Quantize one row in place with per-group affine params; returns the
+/// reconstructed row.
+void quantize_row(std::span<const float> row, Bitwidth bits, Scheme scheme,
+                  std::size_t group, std::span<float> out) {
+  const std::size_t n = row.size();
+  const std::size_t g = group == 0 ? n : group;
+  std::vector<std::int32_t> codes;
+  for (std::size_t begin = 0; begin < n; begin += g) {
+    const std::size_t len = std::min(g, n - begin);
+    const auto chunk = row.subspan(begin, len);
+    const QuantParams p = compute_params(chunk, bits, scheme);
+    codes.resize(len);
+    quantize(chunk, p, bits, scheme, Rounding::kDeterministic, nullptr, codes);
+    dequantize(codes, p, out.subspan(begin, len));
+  }
+}
+
+double metric_mse(const Tensor& a, const Tensor& b) { return sq::tensor::mse(a, b); }
+
+GptqResult finish(const Tensor& w, const Tensor& x, Tensor dequantized) {
+  GptqResult r;
+  r.weight_mse = metric_mse(dequantized, w);
+  if (x.rows() > 0 && x.cols() == w.rows()) {
+    const Tensor ref = sq::tensor::matmul(x, w);
+    const Tensor got = sq::tensor::matmul(x, dequantized);
+    r.output_mse = metric_mse(got, ref);
+  }
+  r.dequantized = std::move(dequantized);
+  return r;
+}
+
+}  // namespace
+
+GptqResult rtn_quantize(const Tensor& weights, const Tensor& calibration,
+                        const GptqOptions& opts) {
+  Tensor out(weights.rows(), weights.cols());
+  for (std::size_t i = 0; i < weights.rows(); ++i) {
+    quantize_row(weights.row(i), opts.bits, opts.scheme, opts.group_size, out.row(i));
+  }
+  return finish(weights, calibration, std::move(out));
+}
+
+GptqResult gptq_quantize(const Tensor& weights, const Tensor& calibration,
+                         const GptqOptions& opts) {
+  const std::size_t in = weights.rows();
+  if (calibration.rows() == 0 || calibration.cols() != in || in == 0) {
+    return rtn_quantize(weights, calibration, opts);
+  }
+
+  // H = 2 X^T X + damping * mean(diag) * I   (the GPTQ Hessian).
+  std::vector<double> h(in * in, 0.0);
+  for (std::size_t s = 0; s < calibration.rows(); ++s) {
+    const auto row = calibration.row(s);
+    for (std::size_t i = 0; i < in; ++i) {
+      const double xi = row[i];
+      for (std::size_t j = 0; j <= i; ++j) {
+        h[i * in + j] += 2.0 * xi * row[j];
+      }
+    }
+  }
+  double diag_mean = 0.0;
+  for (std::size_t i = 0; i < in; ++i) {
+    for (std::size_t j = i + 1; j < in; ++j) h[i * in + j] = h[j * in + i];
+    diag_mean += h[i * in + i];
+  }
+  diag_mean /= static_cast<double>(in);
+  for (std::size_t i = 0; i < in; ++i) {
+    h[i * in + i] += std::max(opts.damping * diag_mean, 1e-9);
+  }
+
+  std::vector<double> hinv = spd_inverse(h, in);
+
+  // OBQ sweep: quantize input channel i, spread its rounding error over
+  // the not-yet-quantized channels via the inverse-Hessian column, then
+  // eliminate channel i from Hinv (Schur complement).
+  Tensor work = weights;  // copy; rows get error-fed updates
+  Tensor out(weights.rows(), weights.cols());
+  std::vector<double> err(weights.cols());
+  for (std::size_t i = 0; i < in; ++i) {
+    quantize_row(work.row(i), opts.bits, opts.scheme, opts.group_size, out.row(i));
+    const double hii = std::max(hinv[i * in + i], 1e-12);
+    const auto wrow = work.row(i);
+    const auto qrow = out.row(i);
+    for (std::size_t c = 0; c < err.size(); ++c) {
+      err[c] = (static_cast<double>(wrow[c]) - static_cast<double>(qrow[c])) / hii;
+    }
+    for (std::size_t j = i + 1; j < in; ++j) {
+      const double f = hinv[j * in + i];
+      if (f == 0.0) continue;
+      auto dst = work.row(j);
+      for (std::size_t c = 0; c < err.size(); ++c) {
+        dst[c] -= static_cast<float>(f * err[c]);
+      }
+    }
+    // Schur update of the remaining inverse block.
+    for (std::size_t j = i + 1; j < in; ++j) {
+      const double ji = hinv[j * in + i];
+      if (ji == 0.0) continue;
+      for (std::size_t k = i + 1; k < in; ++k) {
+        hinv[j * in + k] -= ji * hinv[i * in + k] / hii;
+      }
+    }
+  }
+  return finish(weights, calibration, std::move(out));
+}
+
+}  // namespace sq::quant

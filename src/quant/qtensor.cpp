@@ -1,0 +1,74 @@
+#include "quant/qtensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sq::quant {
+
+QTensor::QTensor(const sq::tensor::Tensor& weights, Bitwidth b, Scheme scheme,
+                 Rounding rounding, std::size_t group_size, sq::tensor::Rng* rng)
+    : bitwidth_(b),
+      scheme_(scheme),
+      rows_(weights.rows()),
+      cols_(weights.cols()),
+      group_size_(group_size == 0 ? weights.cols() : group_size) {
+  const auto flat = weights.data();
+  if (b == Bitwidth::kFp16) {
+    fp16_passthrough_.resize(flat.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+      fp16_passthrough_[i] = to_fp16(flat[i]);
+      const double d = fp16_passthrough_[i] - flat[i];
+      acc += d * d;
+    }
+    mse_ = flat.empty() ? 0.0 : acc / static_cast<double>(flat.size());
+    return;
+  }
+
+  codes_.resize(flat.size());
+  const std::size_t n_groups = (flat.size() + group_size_ - 1) / group_size_;
+  params_.reserve(n_groups);
+  double acc = 0.0;
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    const std::size_t begin = g * group_size_;
+    const std::size_t len = std::min(group_size_, flat.size() - begin);
+    const auto chunk = flat.subspan(begin, len);
+    const QuantParams p = compute_params(chunk, b, scheme_);
+    quantize(chunk, p, b, scheme_, rounding, rng,
+             std::span<std::int32_t>(codes_).subspan(begin, len));
+    params_.push_back(p);
+    for (std::size_t i = 0; i < len; ++i) {
+      const double rec = p.scale * static_cast<double>(codes_[begin + i]) + p.zero;
+      const double d = rec - chunk[i];
+      acc += d * d;
+    }
+  }
+  mse_ = flat.empty() ? 0.0 : acc / static_cast<double>(flat.size());
+}
+
+sq::tensor::Tensor QTensor::dequantize() const {
+  sq::tensor::Tensor out(rows_, cols_);
+  auto flat = out.data();
+  if (bitwidth_ == Bitwidth::kFp16) {
+    std::copy(fp16_passthrough_.begin(), fp16_passthrough_.end(), flat.begin());
+    return out;
+  }
+  for (std::size_t g = 0; g < params_.size(); ++g) {
+    const std::size_t begin = g * group_size_;
+    const std::size_t len = std::min(group_size_, flat.size() - begin);
+    sq::quant::dequantize(std::span<const std::int32_t>(codes_).subspan(begin, len),
+                          params_[g], flat.subspan(begin, len));
+  }
+  return out;
+}
+
+std::uint64_t QTensor::storage_bytes() const {
+  const std::uint64_t n = static_cast<std::uint64_t>(rows_) * cols_;
+  if (bitwidth_ == Bitwidth::kFp16) return n * 2;
+  const std::uint64_t code_bits = n * static_cast<std::uint64_t>(bits(bitwidth_));
+  const std::uint64_t code_bytes = (code_bits + 7) / 8;
+  const std::uint64_t per_group = scheme_ == Scheme::kAsymmetric ? 4 : 2;  // fp16 scale (+zero)
+  return code_bytes + static_cast<std::uint64_t>(params_.size()) * per_group;
+}
+
+}  // namespace sq::quant

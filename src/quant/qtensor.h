@@ -1,0 +1,57 @@
+// Group-quantized tensor: the storage format used by weight-only kernels
+// (GPTQ/AWQ-style).  Weights are split into contiguous groups of
+// `group_size` elements, each with its own affine parameters — exactly the
+// format whose memory footprint the paper's memory cost model accounts for.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "quant/quantizer.h"
+#include "tensor/tensor.h"
+
+namespace sq::quant {
+
+/// A quantized copy of a weight matrix with per-group scales.
+class QTensor {
+ public:
+  /// Quantize `weights` at bitwidth `b` with `group_size` elements per
+  /// scale group (0 means one group per row).  Stochastic rounding draws
+  /// from `rng` when requested.
+  QTensor(const sq::tensor::Tensor& weights, Bitwidth b, Scheme scheme,
+          Rounding rounding, std::size_t group_size = 128,
+          sq::tensor::Rng* rng = nullptr);
+
+  /// Bitwidth the weights are stored at.
+  Bitwidth bitwidth() const { return bitwidth_; }
+
+  /// Original matrix shape.
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// Reconstruct the full-precision approximation (what a weight-only
+  /// kernel feeds its FP16 MACs after dequantization).
+  sq::tensor::Tensor dequantize() const;
+
+  /// Storage bytes of the packed representation: ceil(bits/8 per code,
+  /// bit-packed) plus one fp16 scale (+ fp16 zero if asymmetric) per group.
+  std::uint64_t storage_bytes() const;
+
+  /// Mean squared error against the original weights (computed at
+  /// construction; the indicator comparisons use it).
+  double mse_vs_original() const { return mse_; }
+
+ private:
+  Bitwidth bitwidth_;
+  Scheme scheme_;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t group_size_ = 0;
+  std::vector<std::int32_t> codes_;
+  std::vector<QuantParams> params_;  ///< One per group.
+  std::vector<float> fp16_passthrough_;  ///< Used when bitwidth == fp16.
+  double mse_ = 0.0;
+};
+
+}  // namespace sq::quant

@@ -1,0 +1,115 @@
+#include "quant/quantizer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "tensor/stats.h"
+
+namespace sq::quant {
+
+float scale_for_range(float w_min, float w_max, Bitwidth b, Scheme scheme) {
+  if (b == Bitwidth::kFp16) return 1.0f;
+  const int nbits = bits(b);
+  if (scheme == Scheme::kAsymmetric) {
+    const float levels = static_cast<float>((1 << nbits) - 1);
+    const float span = w_max - w_min;
+    return span > 0.0f ? span / levels : 1.0f;
+  }
+  const float levels = static_cast<float>((1 << (nbits - 1)) - 1);
+  const float amax = std::max(std::abs(w_min), std::abs(w_max));
+  return amax > 0.0f ? amax / levels : 1.0f;
+}
+
+QuantParams compute_params(std::span<const float> values, Bitwidth b, Scheme scheme) {
+  QuantParams p;
+  if (b == Bitwidth::kFp16 || values.empty()) return p;
+  const auto [mn, mx] = std::minmax_element(values.begin(), values.end());
+  p.scale = scale_for_range(*mn, *mx, b, scheme);
+  p.zero = scheme == Scheme::kAsymmetric ? *mn : 0.0f;
+  return p;
+}
+
+std::pair<std::int32_t, std::int32_t> code_range(Bitwidth b, Scheme scheme) {
+  const int nbits = bits(b);
+  if (scheme == Scheme::kAsymmetric) {
+    return {0, (1 << nbits) - 1};
+  }
+  const std::int32_t hi = (1 << (nbits - 1)) - 1;
+  return {-hi, hi};
+}
+
+void quantize(std::span<const float> values, const QuantParams& params, Bitwidth b,
+              Scheme scheme, Rounding rounding, sq::tensor::Rng* rng,
+              std::span<std::int32_t> codes_out) {
+  assert(codes_out.size() == values.size());
+  assert((rounding != Rounding::kStochastic || rng != nullptr) &&
+         "stochastic rounding needs an RNG");
+  const auto [lo, hi] = code_range(b, scheme);
+  const float inv_scale = params.scale != 0.0f ? 1.0f / params.scale : 0.0f;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const float scaled = (values[i] - params.zero) * inv_scale;
+    float rounded;
+    if (rounding == Rounding::kDeterministic) {
+      rounded = std::nearbyint(scaled);
+    } else {
+      const float fl = std::floor(scaled);
+      const float frac = scaled - fl;
+      rounded = fl + (rng->uniform() < frac ? 1.0f : 0.0f);
+    }
+    codes_out[i] = std::clamp(static_cast<std::int32_t>(rounded), lo, hi);
+  }
+}
+
+void dequantize(std::span<const std::int32_t> codes, const QuantParams& params,
+                std::span<float> values_out) {
+  assert(values_out.size() == codes.size());
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    values_out[i] = params.scale * static_cast<float>(codes[i]) + params.zero;
+  }
+}
+
+float to_fp16(float v) {
+  // Quantize the mantissa to 10 bits (plus handle subnormal/overflow
+  // coarsely).  This mirrors the storage precision loss of fp16 weights.
+  if (!std::isfinite(v)) return v;
+  if (std::abs(v) > 65504.0f) return v > 0 ? 65504.0f : -65504.0f;
+  if (v == 0.0f) return 0.0f;
+  int exp = 0;
+  const float mant = std::frexp(v, &exp);  // v = mant * 2^exp, |mant| in [0.5,1)
+  if (exp < -13) {
+    // Subnormal fp16 territory: quantize against the fixed minimum step.
+    const float step = 0x1.0p-24f;
+    return std::nearbyint(v / step) * step;
+  }
+  const float scaled = std::ldexp(mant, 11);  // 11 bits incl. leading 1.
+  return std::ldexp(std::nearbyint(scaled), exp - 11);
+}
+
+std::vector<float> fake_quantize(std::span<const float> values, Bitwidth b,
+                                 Scheme scheme, Rounding rounding,
+                                 sq::tensor::Rng* rng) {
+  std::vector<float> out(values.size());
+  if (b == Bitwidth::kFp16) {
+    for (std::size_t i = 0; i < values.size(); ++i) out[i] = to_fp16(values[i]);
+    return out;
+  }
+  const QuantParams p = compute_params(values, b, scheme);
+  std::vector<std::int32_t> codes(values.size());
+  quantize(values, p, b, scheme, rounding, rng, codes);
+  dequantize(codes, p, out);
+  return out;
+}
+
+double quantization_mse(std::span<const float> values, Bitwidth b, Scheme scheme,
+                        Rounding rounding, sq::tensor::Rng* rng) {
+  const std::vector<float> rt = fake_quantize(values, b, scheme, rounding, rng);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double d = static_cast<double>(rt[i]) - static_cast<double>(values[i]);
+    acc += d * d;
+  }
+  return values.empty() ? 0.0 : acc / static_cast<double>(values.size());
+}
+
+}  // namespace sq::quant

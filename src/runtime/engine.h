@@ -1,0 +1,75 @@
+// Offline serving engine (paper Fig. 6, "Distributed Execution").
+//
+// Executes an execution plan over a stream of offline batches: the master
+// engine embeds tokens and converts logits, stage workers run their layer
+// ranges, and the scheduler adapts micro-batching per batch.  Execution is
+// simulated (sq::sim::simulate_batch is the "GPU"), but all the serving
+// logic — batching, concurrency capping via the paged KV allocator,
+// per-batch padding, throughput accounting — is real and is what the
+// end-to-end benchmarks (Figs. 9/10, Table IV) measure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/cluster.h"
+#include "model/llm.h"
+#include "sim/pipeline.h"
+#include "sim/plan.h"
+#include "workload/profile.h"
+
+namespace sq::runtime {
+
+/// Backend flavor (paper Sec. V).
+enum class Backend {
+  kVllmStyle,  ///< Optimized engine: chunked prefill, full kernel set.
+  kCustom,     ///< PyTorch-native fallback for legacy GPUs: supports 3-bit,
+               ///< pays an efficiency discount.
+};
+
+/// Aggregate results of serving a workload.
+struct ServeStats {
+  bool feasible = true;          ///< False: weights never fit (hard OOM).
+  std::string failure;           ///< Reason when not feasible.
+  std::uint64_t batches = 0;     ///< Batches executed.
+  std::uint64_t waves = 0;       ///< Serving waves (>= batches when capped).
+  double total_seconds = 0.0;    ///< Simulated wall time.
+  double output_tokens = 0.0;    ///< Tokens generated.
+  double throughput_tok_s = 0.0; ///< Output tokens per second.
+  double mean_bubble = 0.0;      ///< Mean pipeline idle fraction.
+  std::uint64_t capped_batches = 0;  ///< Batches that needed concurrency caps.
+};
+
+/// The engine: binds (cluster, model, plan, backend).
+class OfflineEngine {
+ public:
+  OfflineEngine(sq::hw::Cluster cluster, sq::model::LlmSpec model,
+                sq::sim::ExecutionPlan plan, Backend backend = Backend::kVllmStyle,
+                sq::sim::KernelModelOptions kernel = {.ground_truth = true,
+                                                      .seed = 11});
+
+  /// Serve a list of padded batches; returns aggregate statistics.
+  ServeStats serve(const std::vector<sq::sim::BatchWorkload>& batches) const;
+
+  /// Convenience: batch raw requests (sorted, padded, filtered to the
+  /// model's context limit) and serve them.
+  ServeStats serve_requests(const std::vector<sq::workload::Request>& requests,
+                            std::uint64_t batch_size,
+                            std::uint64_t chunk_tokens = 2048) const;
+
+  /// The bound plan.
+  const sq::sim::ExecutionPlan& plan() const { return plan_; }
+
+  /// Backend efficiency factor in effect.
+  double backend_efficiency() const;
+
+ private:
+  sq::hw::Cluster cluster_;
+  sq::model::LlmSpec model_;
+  sq::sim::ExecutionPlan plan_;
+  Backend backend_;
+  sq::sim::KernelModelOptions kernel_;
+};
+
+}  // namespace sq::runtime

@@ -1,0 +1,55 @@
+#include "runtime/scheduler.h"
+
+#include <algorithm>
+
+#include "sim/memory.h"
+
+namespace sq::runtime {
+
+std::uint64_t max_concurrency(const sq::hw::Cluster& cluster,
+                              const sq::model::LlmSpec& m,
+                              const sq::sim::ExecutionPlan& plan,
+                              const sq::sim::BatchWorkload& w) {
+  // Binary search the largest batch size whose memory report is OOM-free.
+  sq::sim::BatchWorkload probe = w;
+  probe.batch_size = 1;
+  if (sq::sim::plan_memory(cluster, m, plan, probe).oom) return 0;
+  std::uint64_t lo = 1, hi = w.batch_size;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo + 1) / 2;
+    probe.batch_size = mid;
+    if (sq::sim::plan_memory(cluster, m, plan, probe).oom) {
+      hi = mid - 1;
+    } else {
+      lo = mid;
+    }
+  }
+  return lo;
+}
+
+BatchSchedule schedule_batch(const sq::hw::Cluster& cluster,
+                             const sq::model::LlmSpec& m,
+                             const sq::sim::ExecutionPlan& plan,
+                             const sq::sim::BatchWorkload& w) {
+  BatchSchedule s;
+  const std::uint64_t cap = max_concurrency(cluster, m, plan, w);
+  if (cap == 0) {
+    s.weights_fit = false;
+    return s;
+  }
+  // Balance the batch across the minimum number of waves (a tiny remainder
+  // wave would pay a full decode pass for a handful of requests).
+  const std::uint64_t n_waves = (w.batch_size + cap - 1) / cap;
+  const std::uint64_t base = w.batch_size / n_waves;
+  const std::uint64_t extra = w.batch_size % n_waves;
+  for (std::uint64_t i = 0; i < n_waves; ++i) {
+    s.waves.push_back(base + (i < extra ? 1 : 0));
+  }
+  // Micro-batch sizes are clamped per wave by the engine; report the
+  // nominal values here.
+  s.eta = std::max<std::uint64_t>(1, plan.prefill_microbatch);
+  s.xi = std::max<std::uint64_t>(1, plan.decode_microbatch);
+  return s;
+}
+
+}  // namespace sq::runtime

@@ -1,0 +1,122 @@
+#include "sim/kernel_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/rng.h"
+
+namespace sq::sim {
+
+namespace {
+
+/// Tokens of parallel work at which a kernel path reaches ~50% of its
+/// asymptotic utilization.  Tensor-core GEMMs saturate quickly; dp4a INT8
+/// needs large shapes (the paper's "V100's INT8 performance depends on the
+/// input shape"); weight-only fused kernels sit in between.
+double half_saturation_tokens(const GpuSpec& g, Bitwidth b, Phase phase) {
+  const bool weight_only = g.needs_dequant(b);
+  const bool dp4a = b == Bitwidth::kInt8 && g.has_fast_int8 && !g.has_int8_tensor_core;
+  if (phase == Phase::kPrefill) {
+    if (dp4a) return 768.0;
+    if (weight_only) return 160.0;
+    return 64.0;
+  }
+  // Decode: parallelism comes from the batch dimension only.
+  if (dp4a) return 24.0;
+  if (weight_only) return 3.0;
+  return 6.0;
+}
+
+/// Deterministic per-shape jitter in [1-a, 1+a], seeded.
+double jitter(std::uint64_t seed, std::uint64_t key, double amplitude) {
+  sq::tensor::SplitMix64 mix(seed ^ key);
+  return 1.0 + amplitude * (2.0 * mix.next_double() - 1.0);
+}
+
+}  // namespace
+
+double KernelModel::finalize(const GpuSpec& g, double compute_us, double mem_us,
+                             double extra_us, double work_tokens, std::uint64_t v,
+                             Bitwidth b, Phase phase) const {
+  const double t_half = half_saturation_tokens(g, b, phase);
+  const double util = work_tokens / (work_tokens + t_half);
+  double comp = util > 0.0 ? compute_us / util : compute_us;
+
+  if (opts_.ground_truth) {
+    // Wave quantization: compute rounds up to whole thread-block waves.
+    const double waves = std::max(1.0, work_tokens / 128.0);
+    comp *= std::ceil(waves) / waves;
+    // Residency effect: small weight sets partially cache in L2.
+    if (mem_us < 50.0) mem_us *= 0.85;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(work_tokens) << 20) ^ (v << 8) ^
+        (static_cast<std::uint64_t>(sq::hw::bits(b)) << 2) ^
+        static_cast<std::uint64_t>(phase == Phase::kPrefill) ^
+        (static_cast<std::uint64_t>(g.type) << 40);
+    const double j = jitter(opts_.seed, key, 0.04);
+    return (std::max(comp, mem_us) + extra_us + g.kernel_launch_us) * j;
+  }
+  return std::max(comp, mem_us) + extra_us + g.kernel_launch_us;
+}
+
+double KernelModel::layer_time_us(const GpuSpec& g, const LlmSpec& m, Phase phase,
+                                  std::uint64_t v, std::uint64_t s_or_ctx, Bitwidth b,
+                                  Bitwidth bit_kv, int tp, double tp_link_gbps) const {
+  const double tp_d = static_cast<double>(std::max(1, tp));
+  double flops, mops, work_tokens;
+  if (phase == Phase::kPrefill) {
+    flops = m.layer_prefill_flops(v, s_or_ctx);
+    mops = m.layer_prefill_mops(v, s_or_ctx, b);
+    work_tokens = static_cast<double>(v) * static_cast<double>(s_or_ctx);
+  } else {
+    flops = m.layer_decode_flops(v, s_or_ctx);
+    mops = m.layer_decode_mops(v, s_or_ctx, b, bit_kv);
+    work_tokens = static_cast<double>(v);
+  }
+  flops /= tp_d;
+  mops /= tp_d;
+
+  const bool prefill = phase == Phase::kPrefill;
+  const double compute_us = flops / (g.effective_tflops(b, prefill) * 1e12) * 1e6;
+  const double mem_us = mops / (g.effective_gbps() * 1e9) * 1e6;
+
+  double extra_us = 0.0;
+  if (g.needs_dequant(b)) {
+    const double kelem = static_cast<double>(m.layer_linear_params()) / tp_d / 1024.0;
+    extra_us += kelem * g.dequant_ns_per_kelem / 1000.0;
+  }
+  if (tp > 1) {
+    // Two all-reduces per layer (post-attention, post-MLP) over the
+    // activation tensor, ring style: 2*(tp-1)/tp of the bytes per op.
+    const double act_bytes = 2.0 * work_tokens * static_cast<double>(m.h1);
+    const double ring = 2.0 * 2.0 * (tp_d - 1.0) / tp_d * act_bytes;
+    extra_us += ring / (tp_link_gbps * 1e9) * 1e6 + 2.0 * g.kernel_launch_us;
+  }
+  return finalize(g, compute_us, mem_us, extra_us, work_tokens, v, b, phase);
+}
+
+double KernelModel::embed_time_us(const GpuSpec& g, const LlmSpec& m,
+                                  std::uint64_t rows) const {
+  // Gather of `rows` embedding vectors (+ position add), memory-bound.
+  const double bytes = 2.0 * static_cast<double>(rows) * static_cast<double>(m.d_t) * 2.0;
+  return bytes / (g.effective_gbps() * 1e9) * 1e6 + g.kernel_launch_us;
+}
+
+double KernelModel::lm_head_time_us(const GpuSpec& g, const LlmSpec& m,
+                                    std::uint64_t rows) const {
+  const double flops = m.lm_head_flops(rows);
+  const double bytes =
+      2.0 * static_cast<double>(m.vocab_s) * static_cast<double>(m.d_t);
+  const double compute_us =
+      flops / (g.effective_tflops(Bitwidth::kFp16, rows > 16) * 1e12) * 1e6;
+  const double mem_us = bytes / (g.effective_gbps() * 1e9) * 1e6;
+  return std::max(compute_us, mem_us) + g.kernel_launch_us;
+}
+
+double KernelModel::comm_time_us(double bytes, double gbps) const {
+  constexpr double kMessageLatencyUs = 8.0;
+  if (gbps <= 0.0) return kMessageLatencyUs;
+  return bytes / (gbps * 1e9) * 1e6 + kMessageLatencyUs;
+}
+
+}  // namespace sq::sim

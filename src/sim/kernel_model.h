@@ -1,0 +1,72 @@
+// Roofline-style kernel-time model standing in for CUDA kernel execution.
+//
+// Time of one decoder-layer forward = max(compute time, memory time)
+// + weight-dequantization overhead (weight-only kernels) + launch
+// overhead, with a work-dependent utilization ramp (small kernels cannot
+// fill the device).  This reproduces the qualitative behaviour the paper
+// measures: prefill is compute-bound and FP16 keeps a prefill edge over
+// 3/4-bit (Fig. 5); decode is memory-bound so narrow weights win there;
+// INT8 is only cheap where the silicon has a fast path (Sec. II-E).
+//
+// The *ground-truth* variant adds deterministic nonlinearities (wave
+// quantization, cache boundary effects, seeded jitter): it plays the role
+// of the physical cluster, and the linear cost model of src/cost is fitted
+// against it — giving the realistic ~5% regression error of Fig. 8.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/gpu.h"
+#include "model/llm.h"
+
+namespace sq::sim {
+
+using sq::hw::Bitwidth;
+using sq::hw::GpuSpec;
+using sq::model::LlmSpec;
+using sq::model::Phase;
+
+/// Behaviour switches for the kernel model.
+struct KernelModelOptions {
+  /// Add the nonlinear "physical" effects; planners fit against this.
+  bool ground_truth = false;
+  /// Seed for the deterministic jitter of the ground-truth variant.
+  std::uint64_t seed = 11;
+};
+
+/// Analytic kernel-latency oracle for one device.
+class KernelModel {
+ public:
+  explicit KernelModel(KernelModelOptions opts = {}) : opts_(opts) {}
+
+  /// Microseconds for one decoder layer of `m` on `g`:
+  ///  - kPrefill: batch `v`, prompt chunk of `s_or_ctx` tokens.
+  ///  - kDecode : batch `v`, one token step with `s_or_ctx` tokens of
+  ///    context already cached.
+  /// `b` is the layer's weight bitwidth, `bit_kv` the KV-cache precision.
+  /// `tp` shards the layer over `tp` identical devices (intra-node tensor
+  /// parallelism) connected at `tp_link_gbps` GB/s.
+  double layer_time_us(const GpuSpec& g, const LlmSpec& m, Phase phase,
+                       std::uint64_t v, std::uint64_t s_or_ctx, Bitwidth b,
+                       Bitwidth bit_kv = Bitwidth::kFp16, int tp = 1,
+                       double tp_link_gbps = 300.0) const;
+
+  /// Microseconds for the embedding lookup + projection of `rows` tokens.
+  double embed_time_us(const GpuSpec& g, const LlmSpec& m, std::uint64_t rows) const;
+
+  /// Microseconds for the LM head (logits) over `rows` token positions.
+  double lm_head_time_us(const GpuSpec& g, const LlmSpec& m, std::uint64_t rows) const;
+
+  /// Microseconds to move `bytes` over a `gbps` GB/s link (plus a fixed
+  /// per-message latency).
+  double comm_time_us(double bytes, double gbps) const;
+
+ private:
+  double finalize(const GpuSpec& g, double compute_us, double mem_us,
+                  double extra_us, double work_tokens, std::uint64_t v,
+                  Bitwidth b, Phase phase) const;
+
+  KernelModelOptions opts_;
+};
+
+}  // namespace sq::sim

@@ -1,0 +1,54 @@
+#include "sim/memory.h"
+
+#include <algorithm>
+
+namespace sq::sim {
+
+MemoryReport plan_memory(const sq::hw::Cluster& cluster, const sq::model::LlmSpec& m,
+                         const ExecutionPlan& plan, const BatchWorkload& w) {
+  MemoryReport report;
+  for (std::size_t si = 0; si < plan.stages.size(); ++si) {
+    const auto& stage = plan.stages[si];
+    const auto tp = static_cast<std::uint64_t>(stage.tp());
+
+    std::uint64_t weights = 0;
+    for (int l = stage.layer_begin; l < stage.layer_end; ++l) {
+      weights += m.layer_weight_bytes(plan.layer_bits[static_cast<std::size_t>(l)]);
+    }
+    // The "real" engine allocates KV in paged blocks of 16 tokens
+    // (PagedAttention-style), so per-request reservations round up.
+    constexpr std::uint64_t kKvBlockTokens = 16;
+    const std::uint64_t ctx_blocks =
+        (w.max_context() + kKvBlockTokens - 1) / kKvBlockTokens;
+    const std::uint64_t kv =
+        w.batch_size * m.layer_kv_bytes(ctx_blocks * kKvBlockTokens, plan.kv_bits) *
+        static_cast<std::uint64_t>(stage.layer_count());
+    // Peak transient activations: the larger of a prefill chunk at the
+    // prefill micro-batch size and a decode step at the decode size.
+    const std::uint64_t act_prefill =
+        m.layer_peak_activation_bytes(plan.prefill_microbatch, w.chunk_len());
+    const std::uint64_t act_decode =
+        m.layer_peak_activation_bytes(plan.decode_microbatch, 1);
+    const std::uint64_t act = std::max(act_prefill, act_decode);
+
+    for (int d : stage.devices) {
+      DeviceMemory dm;
+      dm.device = d;
+      dm.weights = weights / tp;
+      dm.kv_cache = kv / tp;
+      dm.activations = act / tp;
+      if (si == 0 && d == stage.devices.front()) {
+        // Master stage hosts embeddings + LM head (constraint (13)).
+        dm.embeddings = m.embedding_bytes();
+      }
+      if (dm.total() > cluster.spec(d).usable_memory_bytes() && !report.oom) {
+        report.oom = true;
+        report.oom_device = d;
+      }
+      report.devices.push_back(dm);
+    }
+  }
+  return report;
+}
+
+}  // namespace sq::sim

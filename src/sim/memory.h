@@ -1,0 +1,42 @@
+// Per-device memory accounting for an execution plan — the "real system"
+// side of the paper's memory cost model (weights + KV reservation + peak
+// activations + embeddings on the master stage, constraints (12)/(13)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/cluster.h"
+#include "model/llm.h"
+#include "sim/plan.h"
+
+namespace sq::sim {
+
+/// Memory usage of one device under a plan.
+struct DeviceMemory {
+  int device = 0;                 ///< Flat cluster index.
+  std::uint64_t weights = 0;      ///< Quantized layer weights (its TP share).
+  std::uint64_t kv_cache = 0;     ///< Reserved KV for max context x batch.
+  std::uint64_t activations = 0;  ///< Peak transient activations.
+  std::uint64_t embeddings = 0;   ///< Embedding + LM head (master only).
+
+  /// Total bytes.
+  std::uint64_t total() const {
+    return weights + kv_cache + activations + embeddings;
+  }
+};
+
+/// Memory report for a whole plan.
+struct MemoryReport {
+  std::vector<DeviceMemory> devices;  ///< One entry per device used.
+  bool oom = false;                   ///< Any device over its usable memory.
+  int oom_device = -1;                ///< First offending device, or -1.
+};
+
+/// Account the plan's memory on every device it uses.  The KV cache is
+/// reserved for the full batch at maximum context (prompt + generation),
+/// as the paper's serving system does.
+MemoryReport plan_memory(const sq::hw::Cluster& cluster, const sq::model::LlmSpec& m,
+                         const ExecutionPlan& plan, const BatchWorkload& w);
+
+}  // namespace sq::sim

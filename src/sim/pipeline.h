@@ -1,0 +1,71 @@
+// Discrete-event simulation of pipelined two-phase LLM serving.
+//
+// This is the repository's stand-in for running the plan on physical GPUs:
+// prefill micro-batches flow through the stages (chunked), then decode
+// proceeds token-step by token-step with its own micro-batch size; the
+// master engine embeds tokens before stage 0 and computes logits after the
+// last stage; activations travel over the actual inter-device links.
+// Pipeline bubbles, stragglers and communication stalls emerge from the
+// schedule recurrence rather than being modeled analytically — which is
+// what lets the analytical cost model of src/cost be *validated* against
+// this simulator (Fig. 8) instead of against itself.
+#pragma once
+
+#include <vector>
+
+#include "hw/cluster.h"
+#include "model/llm.h"
+#include "sim/kernel_model.h"
+#include "sim/memory.h"
+#include "sim/plan.h"
+
+namespace sq::sim {
+
+/// Outcome of simulating one batch through a plan.
+struct SimResult {
+  bool oom = false;           ///< Plan does not fit; times are meaningless.
+  int oom_device = -1;        ///< First device over capacity.
+  double prefill_us = 0.0;    ///< Wall time until every request's prefill done.
+  double decode_us = 0.0;     ///< Wall time of the decode phase.
+  double total_us = 0.0;      ///< End-to-end batch latency.
+  double throughput_tok_s = 0.0;  ///< Output tokens per second (B*n/total).
+  double bubble_fraction = 0.0;   ///< Mean idle share across stages.
+  /// Per-stage compute time of ONE prefill micro-batch (all chunks),
+  /// useful for straggler analysis (Fig. 3).
+  std::vector<double> stage_prefill_us;
+  /// Per-stage compute time of one decode step at mid-generation context.
+  std::vector<double> stage_decode_us;
+  MemoryReport memory;        ///< Per-device memory accounting.
+};
+
+/// Simulator options.
+struct PipelineOptions {
+  KernelModelOptions kernel;  ///< Ground-truth nonlinearities on/off.
+  /// Efficiency discount of the custom PyTorch-native backend the paper
+  /// built for legacy GPUs (Sec. V): 1.0 = vLLM-style optimized backend.
+  double backend_efficiency = 1.0;
+};
+
+/// Simulate serving one padded batch `w` of `m` on `cluster` under `plan`.
+/// The plan must be structurally valid (ExecutionPlan::validate).
+SimResult simulate_batch(const sq::hw::Cluster& cluster, const sq::model::LlmSpec& m,
+                         const ExecutionPlan& plan, const BatchWorkload& w,
+                         const PipelineOptions& opts = {});
+
+/// Compute time (us) a single stage spends on one prefill micro-batch of
+/// size `v` (all chunks) — the building block of simulate_batch, exposed
+/// for the cost-model fidelity experiments.
+double stage_prefill_time_us(const sq::hw::Cluster& cluster,
+                             const sq::model::LlmSpec& m, const ExecutionPlan& plan,
+                             std::size_t stage, std::uint64_t v,
+                             const BatchWorkload& w, const KernelModel& km,
+                             double backend_eff = 1.0);
+
+/// Compute time (us) of one decode step for micro-batch `v` at context
+/// length `ctx` on `stage`.
+double stage_decode_time_us(const sq::hw::Cluster& cluster,
+                            const sq::model::LlmSpec& m, const ExecutionPlan& plan,
+                            std::size_t stage, std::uint64_t v, std::uint64_t ctx,
+                            const KernelModel& km, double backend_eff = 1.0);
+
+}  // namespace sq::sim

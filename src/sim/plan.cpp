@@ -1,0 +1,102 @@
+#include "sim/plan.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace sq::sim {
+
+int ExecutionPlan::covered_layers() const {
+  int total = 0;
+  for (const auto& s : stages) total += s.layer_count();
+  return total;
+}
+
+std::string ExecutionPlan::validate(const sq::model::LlmSpec& m,
+                                    const sq::hw::Cluster& c) const {
+  if (stages.empty()) return "plan has no stages";
+  if (prefill_microbatch == 0 || decode_microbatch == 0) {
+    return "micro-batch sizes must be positive";
+  }
+  if (layer_bits.size() != static_cast<std::size_t>(m.n_layers)) {
+    return "layer_bits must have one entry per decoder layer";
+  }
+  int expect = 0;
+  std::set<int> used;
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const auto& s = stages[i];
+    if (s.devices.empty()) return "stage " + std::to_string(i) + " has no devices";
+    for (int d : s.devices) {
+      if (d < 0 || d >= c.device_count()) {
+        return "stage " + std::to_string(i) + " references invalid device " +
+               std::to_string(d);
+      }
+      if (!used.insert(d).second) {
+        return "device " + std::to_string(d) + " used by more than one stage";
+      }
+    }
+    if (s.tp() > 1) {
+      for (int d : s.devices) {
+        if (!c.same_node(s.devices.front(), d)) {
+          return "stage " + std::to_string(i) + " TP group crosses nodes";
+        }
+      }
+    }
+    if (s.layer_begin != expect) {
+      return "stage " + std::to_string(i) + " breaks layer contiguity";
+    }
+    if (s.layer_end <= s.layer_begin) {
+      return "stage " + std::to_string(i) + " owns no layers";
+    }
+    expect = s.layer_end;
+  }
+  if (expect != m.n_layers) {
+    return "stages cover " + std::to_string(expect) + " of " +
+           std::to_string(m.n_layers) + " layers";
+  }
+  return "";
+}
+
+std::string ExecutionPlan::summary(const sq::hw::Cluster& c) const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    if (i > 0) os << " | ";
+    const auto& s = stages[i];
+    os << sq::hw::to_string(c.spec(s.devices.front()).type);
+    if (s.tp() > 1) os << "xTP" << s.tp();
+    os << "[" << s.layer_begin << ":" << s.layer_end << ")";
+    // Report the bit mix of the stage compactly.
+    int counts[4] = {0, 0, 0, 0};
+    for (int l = s.layer_begin; l < s.layer_end; ++l) {
+      switch (layer_bits[static_cast<std::size_t>(l)]) {
+        case Bitwidth::kInt3: ++counts[0]; break;
+        case Bitwidth::kInt4: ++counts[1]; break;
+        case Bitwidth::kInt8: ++counts[2]; break;
+        case Bitwidth::kFp16: ++counts[3]; break;
+      }
+    }
+    os << "@";
+    bool first = true;
+    const char* names[4] = {"int3", "int4", "int8", "fp16"};
+    for (int k = 0; k < 4; ++k) {
+      if (counts[k] == 0) continue;
+      if (!first) os << "+";
+      first = false;
+      os << counts[k] << "x" << names[k];
+    }
+  }
+  os << " eta=" << prefill_microbatch << " xi=" << decode_microbatch;
+  return os.str();
+}
+
+std::uint64_t BatchWorkload::chunks() const {
+  if (chunk_tokens == 0) return 1;
+  return std::max<std::uint64_t>(1, (prompt_len + chunk_tokens - 1) / chunk_tokens);
+}
+
+std::uint64_t BatchWorkload::chunk_len() const {
+  const std::uint64_t k = chunks();
+  return (prompt_len + k - 1) / k;
+}
+
+}  // namespace sq::sim

@@ -1,0 +1,75 @@
+// Execution plan: the object SplitQuant's assigner produces and the
+// runtime executes (paper Fig. 6) — per-layer quantization bitwidths, a
+// contiguous layer-to-stage partition over (possibly TP-grouped) devices,
+// and the prefill/decode micro-batch sizes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/cluster.h"
+#include "hw/gpu.h"
+#include "model/llm.h"
+
+namespace sq::sim {
+
+using sq::hw::Bitwidth;
+
+/// One pipeline stage: a contiguous layer range on one device (PP) or an
+/// intra-node TP group of devices.
+struct StageSpec {
+  std::vector<int> devices;  ///< Flat cluster device indices; size > 1 = TP.
+  int layer_begin = 0;       ///< First decoder layer (inclusive).
+  int layer_end = 0;         ///< One past the last layer.
+
+  /// Number of layers owned by the stage.
+  int layer_count() const { return layer_end - layer_begin; }
+  /// Tensor-parallel degree.
+  int tp() const { return static_cast<int>(devices.size()); }
+};
+
+/// The full serving plan.
+struct ExecutionPlan {
+  std::vector<StageSpec> stages;       ///< In pipeline order.
+  std::vector<Bitwidth> layer_bits;    ///< One per decoder layer.
+  std::uint64_t prefill_microbatch = 8;  ///< eta.
+  std::uint64_t decode_microbatch = 8;   ///< xi.
+  Bitwidth kv_bits = Bitwidth::kFp16;  ///< KV-cache element precision.
+
+  std::string scheme;          ///< Producer tag ("splitquant", "uniform", ...).
+  double solve_seconds = 0.0;  ///< Assigner solve time.
+  double predicted_batch_latency_us = 0.0;  ///< Objective (4), latency part.
+  double quality_penalty = 0.0;             ///< Sum of omega over the plan.
+
+  /// Total layers covered by the stages.
+  int covered_layers() const;
+
+  /// Empty string when the plan is structurally valid for (model, cluster):
+  /// stages cover [0, L) contiguously, device indices are in range and
+  /// used at most once, micro-batch sizes are positive, one bitwidth per
+  /// layer.  Otherwise a human-readable error.
+  std::string validate(const sq::model::LlmSpec& m, const sq::hw::Cluster& c) const;
+
+  /// One-line description, e.g. "V100[0:24)@int8 | A100[24:48)@fp16".
+  std::string summary(const sq::hw::Cluster& c) const;
+};
+
+/// Offline batch workload (paper Sec. VI-A): `batch_size` concurrent
+/// padded requests of `prompt_len` tokens, generating `gen_tokens` each,
+/// with Sarathi-style chunked prefill.
+struct BatchWorkload {
+  std::uint64_t batch_size = 32;     ///< B: max concurrent requests.
+  std::uint64_t prompt_len = 512;    ///< s: padded prompt length.
+  std::uint64_t gen_tokens = 32;     ///< n: tokens generated per request.
+  std::uint64_t chunk_tokens = 2048; ///< Chunked-prefill unit.
+
+  /// kappa: number of prefill chunks per request.
+  std::uint64_t chunks() const;
+  /// Effective tokens per chunk (prompt evenly split across chunks).
+  std::uint64_t chunk_len() const;
+  /// Maximum context length reached: prompt + generated tokens.
+  std::uint64_t max_context() const { return prompt_len + gen_tokens; }
+};
+
+}  // namespace sq::sim

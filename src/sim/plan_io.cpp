@@ -1,0 +1,131 @@
+#include "sim/plan_io.h"
+
+#include <sstream>
+
+namespace sq::sim {
+
+namespace {
+
+/// Bitwidth from its integer value; returns false for anything else.
+bool bitwidth_from_int(int v, Bitwidth* out) {
+  switch (v) {
+    case 3: *out = Bitwidth::kInt3; return true;
+    case 4: *out = Bitwidth::kInt4; return true;
+    case 8: *out = Bitwidth::kInt8; return true;
+    case 16: *out = Bitwidth::kFp16; return true;
+    default: return false;
+  }
+}
+
+LoadResult fail(const std::string& msg) {
+  LoadResult r;
+  r.error = msg;
+  return r;
+}
+
+}  // namespace
+
+bool save_plan(const ExecutionPlan& plan, std::ostream& os) {
+  os << "splitquant-plan v1\n";
+  os << "scheme " << (plan.scheme.empty() ? "unnamed" : plan.scheme) << "\n";
+  os << "kv_bits " << sq::hw::bits(plan.kv_bits) << "\n";
+  os << "eta " << plan.prefill_microbatch << "\n";
+  os << "xi " << plan.decode_microbatch << "\n";
+  os << "layer_bits";
+  for (const Bitwidth b : plan.layer_bits) os << " " << sq::hw::bits(b);
+  os << "\n";
+  for (const auto& st : plan.stages) {
+    os << "stage";
+    for (const int d : st.devices) os << " " << d;
+    os << " | " << st.layer_begin << " " << st.layer_end << "\n";
+  }
+  return static_cast<bool>(os);
+}
+
+std::string plan_to_string(const ExecutionPlan& plan) {
+  std::ostringstream os;
+  save_plan(plan, os);
+  return os.str();
+}
+
+LoadResult load_plan(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != "splitquant-plan v1") {
+    return fail("missing or unsupported header (want 'splitquant-plan v1')");
+  }
+  LoadResult r;
+  ExecutionPlan& plan = r.plan;
+  bool saw_layer_bits = false;
+
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "scheme") {
+      ls >> plan.scheme;
+    } else if (key == "kv_bits") {
+      int v = 0;
+      if (!(ls >> v) || !bitwidth_from_int(v, &plan.kv_bits)) {
+        return fail("bad kv_bits line: " + line);
+      }
+    } else if (key == "eta") {
+      if (!(ls >> plan.prefill_microbatch) || plan.prefill_microbatch == 0) {
+        return fail("bad eta line: " + line);
+      }
+    } else if (key == "xi") {
+      if (!(ls >> plan.decode_microbatch) || plan.decode_microbatch == 0) {
+        return fail("bad xi line: " + line);
+      }
+    } else if (key == "layer_bits") {
+      plan.layer_bits.clear();
+      int v = 0;
+      while (ls >> v) {
+        Bitwidth b;
+        if (!bitwidth_from_int(v, &b)) {
+          return fail("bad bitwidth value " + std::to_string(v));
+        }
+        plan.layer_bits.push_back(b);
+      }
+      if (plan.layer_bits.empty()) return fail("empty layer_bits line");
+      saw_layer_bits = true;
+    } else if (key == "stage") {
+      StageSpec st;
+      std::string tok;
+      bool seen_bar = false;
+      std::vector<int> tail;
+      while (ls >> tok) {
+        if (tok == "|") {
+          seen_bar = true;
+          continue;
+        }
+        int v = 0;
+        try {
+          v = std::stoi(tok);
+        } catch (...) {
+          return fail("bad stage token '" + tok + "'");
+        }
+        (seen_bar ? tail : st.devices).push_back(v);
+      }
+      if (!seen_bar || tail.size() != 2 || st.devices.empty()) {
+        return fail("malformed stage line: " + line);
+      }
+      st.layer_begin = tail[0];
+      st.layer_end = tail[1];
+      plan.stages.push_back(std::move(st));
+    } else {
+      return fail("unknown key '" + key + "'");
+    }
+  }
+  if (!saw_layer_bits) return fail("plan has no layer_bits");
+  if (plan.stages.empty()) return fail("plan has no stages");
+  r.ok = true;
+  return r;
+}
+
+LoadResult plan_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return load_plan(is);
+}
+
+}  // namespace sq::sim

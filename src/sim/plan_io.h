@@ -1,0 +1,44 @@
+// Plan serialization: save an ExecutionPlan to a small line-oriented text
+// format and load it back.  The assigner is a one-time offline cost
+// (Sec. IV-C: "one-time cost per-model-per-cluster"); persisting its
+// output lets a deployment re-launch workers without re-solving.
+//
+// Format (version 1):
+//   splitquant-plan v1
+//   scheme <tag>
+//   kv_bits <3|4|8|16>
+//   eta <n>
+//   xi <n>
+//   layer_bits <bit> <bit> ...          # one per decoder layer
+//   stage <dev> [<dev> ...] | <begin> <end>
+//   ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/plan.h"
+
+namespace sq::sim {
+
+/// Serialize `plan` to the stream.  Returns false on stream failure.
+bool save_plan(const ExecutionPlan& plan, std::ostream& os);
+
+/// Serialize to a string (never fails).
+std::string plan_to_string(const ExecutionPlan& plan);
+
+/// Outcome of a load.
+struct LoadResult {
+  bool ok = false;
+  std::string error;  ///< Parse diagnostic when !ok.
+  ExecutionPlan plan;
+};
+
+/// Parse a plan from the stream.  Structural validity against a concrete
+/// (model, cluster) is NOT checked here — call ExecutionPlan::validate.
+LoadResult load_plan(std::istream& is);
+
+/// Parse from a string.
+LoadResult plan_from_string(const std::string& text);
+
+}  // namespace sq::sim

@@ -1,0 +1,170 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sq::tensor {
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  assert(a.cols() == b.rows() && "matmul: inner dimensions must match");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Tensor c(m, n);
+  // i-k-j loop order keeps the inner loop contiguous over B and C rows.
+  for (std::size_t i = 0; i < m; ++i) {
+    auto crow = c.row(i);
+    auto arow = a.row(i);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = arow[kk];
+      if (aik == 0.0f) continue;
+      auto brow = b.row(kk);
+      for (std::size_t j = 0; j < n; ++j) {
+        crow[j] += aik * brow[j];
+      }
+    }
+  }
+  return c;
+}
+
+Tensor matmul_bt(const Tensor& a, const Tensor& b) {
+  assert(a.cols() == b.cols() && "matmul_bt: inner dimensions must match");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  Tensor c(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    auto arow = a.row(i);
+    auto crow = c.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      auto brow = b.row(j);
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc += arow[kk] * brow[kk];
+      }
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  Tensor t(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      t.at(j, i) = a.at(i, j);
+    }
+  }
+  return t;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  Tensor c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) c[i] = a[i] + b[i];
+  return c;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  Tensor c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) c[i] = a[i] - b[i];
+  return c;
+}
+
+void add_bias_inplace(Tensor& a, const Tensor& bias) {
+  assert(bias.rows() == 1 && bias.cols() == a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    auto r = a.row(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) r[j] += bias[j];
+  }
+}
+
+void scale_inplace(Tensor& a, float s) {
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] *= s;
+}
+
+void softmax_rows_inplace(Tensor& a) {
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    auto r = a.row(i);
+    float mx = *std::max_element(r.begin(), r.end());
+    double sum = 0.0;
+    for (auto& v : r) {
+      v = std::exp(v - mx);
+      sum += v;
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (auto& v : r) v *= inv;
+  }
+}
+
+Tensor layernorm_rows(const Tensor& a, const Tensor& gain, const Tensor& bias) {
+  assert(gain.cols() == a.cols() && bias.cols() == a.cols());
+  constexpr float kEps = 1e-5f;
+  Tensor out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    auto r = a.row(i);
+    double mean = 0.0;
+    for (float v : r) mean += v;
+    mean /= static_cast<double>(a.cols());
+    double var = 0.0;
+    for (float v : r) {
+      const double d = v - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(a.cols());
+    const float inv_std = static_cast<float>(1.0 / std::sqrt(var + kEps));
+    auto o = out.row(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      o[j] = (r[j] - static_cast<float>(mean)) * inv_std * gain[j] + bias[j];
+    }
+  }
+  return out;
+}
+
+void gelu_inplace(Tensor& a) {
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float x = a[i];
+    a[i] = 0.5f * x * (1.0f + std::tanh(kC * (x + 0.044715f * x * x * x)));
+  }
+}
+
+void relu_inplace(Tensor& a) {
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = std::max(0.0f, a[i]);
+}
+
+double mse(const Tensor& a, const Tensor& b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    acc += d * d;
+  }
+  return a.size() == 0 ? 0.0 : acc / static_cast<double>(a.size());
+}
+
+double sum_squares(const Tensor& a) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(a[i]);
+  }
+  return acc;
+}
+
+double cross_entropy_rows(const Tensor& logits, std::span<const int> targets) {
+  assert(targets.size() == logits.rows());
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    const int t = targets[i];
+    if (t < 0 || static_cast<std::size_t>(t) >= logits.cols()) continue;
+    auto r = logits.row(i);
+    const float mx = *std::max_element(r.begin(), r.end());
+    double sum = 0.0;
+    for (float v : r) sum += std::exp(static_cast<double>(v - mx));
+    const double logp = static_cast<double>(r[static_cast<std::size_t>(t)] - mx) - std::log(sum);
+    total -= logp;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+}  // namespace sq::tensor

@@ -1,0 +1,79 @@
+#include "tensor/rng.h"
+
+#include <cmath>
+
+namespace sq::tensor {
+
+std::uint64_t SplitMix64::next_u64() {
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double SplitMix64::next_double() {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+float SplitMix64::next_float() {
+  return static_cast<float>(next_u64() >> 40) * 0x1.0p-24f;
+}
+
+std::uint64_t SplitMix64::next_below(std::uint64_t n) {
+  if (n <= 1) return 0;
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~0ULL - (~0ULL % n);
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return v % n;
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  if (hi <= lo) return lo;
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Rng::normal() {
+  if (has_cached_) {
+    has_cached_ = false;
+    return cached_;
+  }
+  // Box-Muller transform.  uniform() can return 0; shift into (0, 1].
+  double u1 = 1.0 - uniform();
+  double u2 = uniform();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_ = r * std::sin(theta);
+  has_cached_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+void Rng::fill_normal(std::vector<float>& out, float mean, float stddev) {
+  for (auto& v : out) {
+    v = static_cast<float>(normal(mean, stddev));
+  }
+}
+
+std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t stream) {
+  SplitMix64 mix(parent ^ (0xA5A5A5A5DEADBEEFULL + stream * 0x9E3779B97F4A7C15ULL));
+  return mix.next_u64();
+}
+
+std::uint64_t seed_from_string(const char* tag) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a offset basis.
+  for (const char* p = tag; *p != '\0'; ++p) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(*p));
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace sq::tensor

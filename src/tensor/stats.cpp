@@ -1,0 +1,72 @@
+#include "tensor/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sq::tensor {
+
+Summary summarize(std::span<const float> values) {
+  OnlineSummary acc;
+  acc.add(values);
+  return acc.finish();
+}
+
+void OnlineSummary::add(float v) {
+  if (n_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++n_;
+  const double delta = v - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (v - mean_);
+}
+
+void OnlineSummary::add(std::span<const float> values) {
+  for (float v : values) add(v);
+}
+
+Summary OnlineSummary::finish() const {
+  Summary s;
+  s.count = n_;
+  s.mean = mean_;
+  s.variance = n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+  s.min = min_;
+  s.max = max_;
+  return s;
+}
+
+double mape(std::span<const double> predicted, std::span<const double> actual,
+            double eps) {
+  double total = 0.0;
+  std::size_t counted = 0;
+  const std::size_t n = std::min(predicted.size(), actual.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::abs(actual[i]) < eps) continue;
+    total += std::abs((predicted[i] - actual[i]) / actual[i]);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+double r_squared(std::span<const double> predicted, std::span<const double> actual) {
+  const std::size_t n = std::min(predicted.size(), actual.size());
+  if (n == 0) return 0.0;
+  double mean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean += actual[i];
+  mean /= static_cast<double>(n);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = actual[i] - predicted[i];
+    const double t = actual[i] - mean;
+    ss_res += r * r;
+    ss_tot += t * t;
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace sq::tensor

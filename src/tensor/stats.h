@@ -1,0 +1,56 @@
+// Streaming / span statistics used by the quantization indicators.
+//
+// Proposition 1 of the paper computes per-operator statistics of weights
+// (min, max -> scaling factor) and activations (mean, variance -> G(X)).
+// These helpers centralize that math and are reused by the cost-model
+// regression diagnostics.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace sq::tensor {
+
+/// Summary statistics of a float sequence.
+struct Summary {
+  double mean = 0.0;      ///< Arithmetic mean.
+  double variance = 0.0;  ///< Population variance (divides by n).
+  float min = 0.0f;       ///< Minimum element.
+  float max = 0.0f;       ///< Maximum element.
+  std::size_t count = 0;  ///< Number of elements summarized.
+};
+
+/// One-pass (Welford) summary of `values`.  Returns a zeroed Summary for an
+/// empty span.
+Summary summarize(std::span<const float> values);
+
+/// Welford online accumulator, for summarizing data that arrives in chunks
+/// (e.g. activation batches during calibration).
+class OnlineSummary {
+ public:
+  /// Fold a single observation into the summary.
+  void add(float v);
+
+  /// Fold a chunk of observations into the summary.
+  void add(std::span<const float> values);
+
+  /// Snapshot of the statistics accumulated so far.
+  Summary finish() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  float min_ = 0.0f;
+  float max_ = 0.0f;
+};
+
+/// Mean absolute percentage error between prediction and truth sequences.
+/// Entries with |truth| < eps are skipped.  Returns 0 when nothing counted.
+double mape(std::span<const double> predicted, std::span<const double> actual,
+            double eps = 1e-9);
+
+/// Coefficient of determination (R^2) of predictions against actuals.
+double r_squared(std::span<const double> predicted, std::span<const double> actual);
+
+}  // namespace sq::tensor

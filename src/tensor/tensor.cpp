@@ -1,0 +1,38 @@
+#include "tensor/tensor.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace sq::tensor {
+
+Tensor::Tensor(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+Tensor::Tensor(std::size_t rows, std::size_t cols, std::span<const float> values)
+    : rows_(rows), cols_(cols), data_(values.begin(), values.end()) {
+  assert(values.size() == rows * cols && "value count must match shape");
+}
+
+void Tensor::zero() {
+  std::fill(data_.begin(), data_.end(), 0.0f);
+}
+
+void Tensor::fill_normal(Rng& rng, float mean, float stddev) {
+  for (auto& v : data_) {
+    v = static_cast<float>(rng.normal(mean, stddev));
+  }
+}
+
+void Tensor::fill_uniform(Rng& rng, float lo, float hi) {
+  for (auto& v : data_) {
+    v = static_cast<float>(rng.uniform(lo, hi));
+  }
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << "[" << rows_ << " x " << cols_ << "]";
+  return os.str();
+}
+
+}  // namespace sq::tensor

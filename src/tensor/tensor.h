@@ -1,0 +1,80 @@
+// Minimal dense 2-D float tensor.
+//
+// SplitQuant needs real (not mocked) linear algebra in two places: the
+// executable tiny transformer (src/nn) used to measure genuine quantization
+// quality degradation, and the quantization / indicator math (src/quant).
+// A deliberately small row-major float32 matrix type covers both.  We keep
+// the surface area tight (CppCoreGuidelines: prefer simple, owning types
+// with value semantics) rather than growing a general N-D framework.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.h"
+
+namespace sq::tensor {
+
+/// Row-major dense matrix of float32.  A 1-D vector is represented as a
+/// 1 x n or n x 1 matrix.  All elements are value-initialized to zero.
+class Tensor {
+ public:
+  /// Empty 0x0 tensor.
+  Tensor() = default;
+
+  /// Zero-filled rows x cols tensor.
+  Tensor(std::size_t rows, std::size_t cols);
+
+  /// Tensor wrapping a copy of `values`, shaped rows x cols.
+  /// Precondition: values.size() == rows * cols.
+  Tensor(std::size_t rows, std::size_t cols, std::span<const float> values);
+
+  /// Number of rows.
+  std::size_t rows() const { return rows_; }
+  /// Number of columns.
+  std::size_t cols() const { return cols_; }
+  /// Total number of elements.
+  std::size_t size() const { return data_.size(); }
+  /// True if the tensor holds no elements.
+  bool empty() const { return data_.empty(); }
+
+  /// Element access (row r, column c).  No bounds checking in release;
+  /// asserts in debug builds.
+  float& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  float at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Flat element access.
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// Contiguous storage, row-major.
+  std::span<float> data() { return data_; }
+  std::span<const float> data() const { return data_; }
+
+  /// View of row r as a span of cols() floats.
+  std::span<float> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+  std::span<const float> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Reset all elements to zero, keeping the shape.
+  void zero();
+
+  /// Fill with i.i.d. N(mean, stddev) values from `rng`.
+  void fill_normal(Rng& rng, float mean, float stddev);
+
+  /// Fill with uniform values in [lo, hi) from `rng`.
+  void fill_uniform(Rng& rng, float lo, float hi);
+
+  /// Human-readable shape string, e.g. "[4 x 768]".
+  std::string shape_str() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace sq::tensor

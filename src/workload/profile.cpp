@@ -1,0 +1,93 @@
+#include "workload/profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sq::workload {
+
+namespace {
+
+double percentile(std::vector<std::uint64_t> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return static_cast<double>(sorted[lo]) * (1.0 - frac) +
+         static_cast<double>(sorted[hi]) * frac;
+}
+
+}  // namespace
+
+Profile make_profile(const std::vector<Request>& reqs, std::uint64_t batch_size,
+                     std::uint64_t chunk_tokens) {
+  Profile p;
+  p.batch_size = batch_size;
+  p.chunk_tokens = chunk_tokens;
+  if (reqs.empty()) return p;
+
+  std::vector<std::uint64_t> prompts;
+  prompts.reserve(reqs.size());
+  double psum = 0.0, osum = 0.0;
+  for (const auto& r : reqs) {
+    prompts.push_back(r.prompt_tokens);
+    psum += static_cast<double>(r.prompt_tokens);
+    osum += static_cast<double>(r.output_tokens);
+    p.max_prompt = std::max(p.max_prompt, r.prompt_tokens);
+    p.max_output = std::max(p.max_output, r.output_tokens);
+  }
+  std::sort(prompts.begin(), prompts.end());
+  p.mean_prompt = psum / static_cast<double>(reqs.size());
+  p.mean_output = osum / static_cast<double>(reqs.size());
+  p.p50_prompt = percentile(prompts, 0.5);
+  p.p90_prompt = percentile(prompts, 0.9);
+  return p;
+}
+
+sq::sim::BatchWorkload Profile::planning_batch(const sq::model::LlmSpec& m) const {
+  sq::sim::BatchWorkload w;
+  w.batch_size = batch_size;
+  // Plan against the 90th-percentile prompt so the memory reservation the
+  // plan guarantees also covers the long batches the runtime will pad to.
+  w.prompt_len = std::min<std::uint64_t>(
+      m.pos_s > mean_output ? m.pos_s - static_cast<std::uint64_t>(mean_output) : m.pos_s,
+      std::max<std::uint64_t>(16, static_cast<std::uint64_t>(p90_prompt)));
+  w.gen_tokens = std::max<std::uint64_t>(1, static_cast<std::uint64_t>(mean_output));
+  w.chunk_tokens = chunk_tokens;
+  return w;
+}
+
+std::vector<sq::sim::BatchWorkload> make_batches(const std::vector<Request>& reqs,
+                                                 const sq::model::LlmSpec& m,
+                                                 std::uint64_t batch_size,
+                                                 std::uint64_t chunk_tokens) {
+  std::vector<Request> sorted(reqs);
+  std::sort(sorted.begin(), sorted.end(), [](const Request& a, const Request& b) {
+    return a.prompt_tokens < b.prompt_tokens;
+  });
+
+  std::vector<sq::sim::BatchWorkload> batches;
+  for (std::size_t begin = 0; begin < sorted.size(); begin += batch_size) {
+    const std::size_t end = std::min(sorted.size(), begin + batch_size);
+    sq::sim::BatchWorkload w;
+    w.batch_size = end - begin;
+    w.chunk_tokens = chunk_tokens;
+    std::uint64_t max_prompt = 0;
+    double out_sum = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      max_prompt = std::max(max_prompt, sorted[i].prompt_tokens);
+      out_sum += static_cast<double>(sorted[i].output_tokens);
+    }
+    w.gen_tokens = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(out_sum / static_cast<double>(end - begin)));
+    // Compatibility filter: pad within the model's position budget,
+    // leaving room for generation.
+    const std::uint64_t limit =
+        m.pos_s > w.gen_tokens ? m.pos_s - w.gen_tokens : m.pos_s;
+    w.prompt_len = std::max<std::uint64_t>(16, std::min(max_prompt, limit));
+    batches.push_back(w);
+  }
+  return batches;
+}
+
+}  // namespace sq::workload

@@ -1,0 +1,48 @@
+// Workload profiling: turn a set of sampled requests into the statistical
+// profile the assigner plans against (paper input (iv): "a query workload
+// profile including prompt/output length distributions and maximum request
+// counts"), and into padded batches the serving runtime executes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/llm.h"
+#include "sim/plan.h"
+#include "workload/datasets.h"
+
+namespace sq::workload {
+
+/// Statistical profile of an offline workload.
+struct Profile {
+  double mean_prompt = 0.0;
+  double p50_prompt = 0.0;
+  double p90_prompt = 0.0;
+  std::uint64_t max_prompt = 0;
+  double mean_output = 0.0;
+  std::uint64_t max_output = 0;
+  std::uint64_t batch_size = 256;    ///< Max concurrent requests (B).
+  std::uint64_t chunk_tokens = 2048; ///< Chunked-prefill unit.
+
+  /// Representative padded batch for planning: prompt at the 90th
+  /// percentile (clamped to the model's position limit), output at the
+  /// mean.  The planner optimizes against this shape; the runtime then
+  /// executes each real batch at its own padded length.
+  sq::sim::BatchWorkload planning_batch(const sq::model::LlmSpec& m) const;
+};
+
+/// Build a Profile from sampled requests.
+Profile make_profile(const std::vector<Request>& reqs, std::uint64_t batch_size = 256,
+                     std::uint64_t chunk_tokens = 2048);
+
+/// Group requests into execution batches of at most `batch_size`, sorting
+/// by prompt length first (standard offline practice: minimizes padding
+/// waste).  Prompts are clamped to the model's max position embeddings,
+/// reproducing the paper's compatibility filtering.  Each batch is padded
+/// to its longest member.
+std::vector<sq::sim::BatchWorkload> make_batches(const std::vector<Request>& reqs,
+                                                 const sq::model::LlmSpec& m,
+                                                 std::uint64_t batch_size,
+                                                 std::uint64_t chunk_tokens = 2048);
+
+}  // namespace sq::workload

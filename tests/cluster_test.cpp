@@ -1,0 +1,93 @@
+// Tests for cluster topology and the Table III paper clusters.
+#include <gtest/gtest.h>
+
+#include "hw/cluster.h"
+#include "hw/paper_clusters.h"
+
+namespace sq::hw {
+namespace {
+
+TEST(Cluster, FlatIndexingAcrossNodes) {
+  Node a{"a", GpuType::kT4, 2, 32.0, "", 0};
+  Node b{"b", GpuType::kV100, 1, 300.0, "", 0};
+  const Cluster c("test", {a, b}, 800.0);
+  ASSERT_EQ(c.device_count(), 3);
+  EXPECT_EQ(c.device(0).node, 0);
+  EXPECT_EQ(c.device(1).node, 0);
+  EXPECT_EQ(c.device(2).node, 1);
+  EXPECT_EQ(c.spec(0).type, GpuType::kT4);
+  EXPECT_EQ(c.spec(2).type, GpuType::kV100);
+}
+
+TEST(Cluster, LinkBandwidthIntraVsInter) {
+  Node a{"a", GpuType::kT4, 2, 32.0, "", 0};
+  Node b{"b", GpuType::kV100, 2, 300.0, "", 0};
+  const Cluster c("test", {a, b}, 800.0);
+  EXPECT_TRUE(c.same_node(0, 1));
+  EXPECT_FALSE(c.same_node(1, 2));
+  EXPECT_DOUBLE_EQ(c.link_gbps(0, 1), 32.0);   // intra T4 node
+  EXPECT_DOUBLE_EQ(c.link_gbps(2, 3), 300.0);  // intra V100 node
+  EXPECT_DOUBLE_EQ(c.link_gbps(1, 2), 100.0);  // 800 Gbit -> 100 GB/s
+}
+
+TEST(Cluster, TotalUsableMemorySums) {
+  const Cluster c = homogeneous_cluster("h", GpuType::kV100, 4);
+  EXPECT_EQ(c.total_usable_memory(),
+            4 * gpu_spec(GpuType::kV100).usable_memory_bytes());
+}
+
+TEST(Cluster, SummaryFormat) {
+  const Cluster c = paper_cluster(5);
+  EXPECT_EQ(c.summary(), "3xT4-16G + 1xV100-32G, 800Gbps");
+}
+
+TEST(PaperClusters, TableIIIDeviceCounts) {
+  // Cluster id -> expected device count per Table III.
+  const int expected[] = {0, 1, 3, 2, 4, 4, 4, 6, 4, 4, 4};
+  for (int id = 1; id <= kPaperClusterCount; ++id) {
+    EXPECT_EQ(paper_cluster(id).device_count(), expected[id]) << "cluster " << id;
+  }
+}
+
+TEST(PaperClusters, EthernetSpeedsMatchPaper) {
+  // Clusters 6 and 8 are on 100 Gbps fabrics, others 800 Gbps.
+  EXPECT_DOUBLE_EQ(paper_cluster(6).ethernet_gBps(), 100.0 / 8.0);
+  EXPECT_DOUBLE_EQ(paper_cluster(8).ethernet_gBps(), 100.0 / 8.0);
+  EXPECT_DOUBLE_EQ(paper_cluster(2).ethernet_gBps(), 100.0);
+}
+
+TEST(PaperClusters, GpuTypesMatchTableIII) {
+  const Cluster c7 = paper_cluster(7);  // 4xT4 + 2xV100
+  int t4 = 0, v100 = 0;
+  for (int d = 0; d < c7.device_count(); ++d) {
+    if (c7.spec(d).type == GpuType::kT4) ++t4;
+    if (c7.spec(d).type == GpuType::kV100) ++v100;
+  }
+  EXPECT_EQ(t4, 4);
+  EXPECT_EQ(v100, 2);
+
+  const Cluster c6 = paper_cluster(6);  // 3xP100 + 1xV100
+  EXPECT_EQ(c6.spec(0).type, GpuType::kP100);
+  EXPECT_EQ(c6.spec(3).type, GpuType::kV100);
+}
+
+TEST(PaperClusters, SameTypeSharesNode) {
+  const Cluster c = paper_cluster(7);
+  EXPECT_TRUE(c.same_node(0, 3));   // T4s together
+  EXPECT_TRUE(c.same_node(4, 5));   // V100s together
+  EXPECT_FALSE(c.same_node(3, 4));  // across nodes
+}
+
+TEST(PaperClusters, InvalidIdThrows) {
+  EXPECT_THROW(paper_cluster(0), std::out_of_range);
+  EXPECT_THROW(paper_cluster(11), std::out_of_range);
+}
+
+TEST(PaperClusters, HomogeneousClustersAreSingleNode) {
+  for (const int id : {1, 8, 9, 10}) {
+    EXPECT_EQ(paper_cluster(id).nodes().size(), 1u) << "cluster " << id;
+  }
+}
+
+}  // namespace
+}  // namespace sq::hw

@@ -1,0 +1,146 @@
+// Tests for PlanContext: table construction, assignment evaluation,
+// plan materialization.
+#include <gtest/gtest.h>
+
+#include "core_test_util.h"
+
+namespace sq::core {
+namespace {
+
+using testutil::Harness;
+
+sq::sim::BatchWorkload small_batch() { return {8, 512, 32, 2048}; }
+
+TEST(MakeGroups, ExplicitSize) {
+  const auto g = make_groups(10, 4);
+  ASSERT_EQ(g.size(), 3u);
+  EXPECT_EQ(g[0], (std::pair<int, int>{0, 4}));
+  EXPECT_EQ(g[2], (std::pair<int, int>{8, 10}));  // remainder group
+}
+
+TEST(MakeGroups, AutoTargetsAtMostSixteen) {
+  EXPECT_LE(make_groups(80, 0).size(), 16u);
+  EXPECT_EQ(make_groups(12, 0).size(), 12u);  // small models ungrouped
+}
+
+TEST(PlanContext, DimensionsAndTables) {
+  const Harness h(sq::model::ModelId::kOpt13B, 9, small_batch());
+  const PlanContext ctx = h.context(4, 8);
+  EXPECT_EQ(ctx.num_groups(), 10);  // 40 layers / group 4
+  EXPECT_EQ(ctx.num_stages(), 4);
+  EXPECT_EQ(ctx.num_bits(), 4);
+  for (int g = 0; g < ctx.num_groups(); ++g) {
+    for (int j = 0; j < ctx.num_stages(); ++j) {
+      for (int bi = 0; bi < ctx.num_bits(); ++bi) {
+        EXPECT_GT(ctx.l_pre(g, j, bi), 0.0);
+        EXPECT_GT(ctx.l_dec(g, j, bi), 0.0);
+        EXPECT_GT(ctx.mem(g, j, bi), 0.0);
+      }
+    }
+  }
+}
+
+TEST(PlanContext, MasterStagePaysEmbeddings) {
+  const Harness h(sq::model::ModelId::kOpt13B, 9, small_batch());
+  const PlanContext ctx = h.context(4, 8);
+  EXPECT_LT(ctx.mem_budget(0), ctx.mem_budget(1));
+  EXPECT_GT(ctx.const_pre(0), 0.0);
+  EXPECT_EQ(ctx.const_pre(1), 0.0);
+}
+
+TEST(PlanContext, PipelineCoefficients) {
+  const Harness h(sq::model::ModelId::kOpt13B, 9, small_batch());
+  // B=8, eta=4 -> mu_pre=2 -> coeff 1;  xi=8 -> mu_dec=1, n=32 -> 30.
+  const PlanContext ctx = h.context(4, 8);
+  EXPECT_DOUBLE_EQ(ctx.t_pre_coeff(), 1.0);
+  EXPECT_DOUBLE_EQ(ctx.t_dec_coeff(), 30.0);
+}
+
+TEST(PlanContext, EvaluateRejectsStructureViolations) {
+  const Harness h(sq::model::ModelId::kOpt13B, 9, small_batch());
+  const PlanContext ctx = h.context(4, 8);
+  const int G = ctx.num_groups();
+  std::vector<int> stage(static_cast<std::size_t>(G), 0);
+  std::vector<int> bit(static_cast<std::size_t>(G), 1);
+
+  // Non-monotone stages.
+  stage[2] = 1;
+  stage[3] = 0;
+  EXPECT_FALSE(ctx.evaluate(stage, bit).feasible);
+
+  // Anchor violated: group 0 not on stage 0.
+  std::fill(stage.begin(), stage.end(), 1);
+  EXPECT_FALSE(ctx.evaluate(stage, bit).feasible);
+}
+
+TEST(PlanContext, EvaluateRejectsMemoryOverflow) {
+  // OPT-30B entirely on one V100 at FP16 cannot fit.
+  const Harness h(sq::model::ModelId::kOpt30B, 9, small_batch());
+  const PlanContext ctx = h.context(4, 8);
+  std::vector<int> stage(static_cast<std::size_t>(ctx.num_groups()), 0);
+  std::vector<int> bit(static_cast<std::size_t>(ctx.num_groups()), 0);  // fp16
+  EXPECT_FALSE(ctx.evaluate(stage, bit).feasible);
+}
+
+TEST(PlanContext, EvaluateComputesStragglerObjective) {
+  const Harness h(sq::model::ModelId::kOpt13B, 9, small_batch());
+  const PlanContext ctx = h.context(4, 8);
+  const int G = ctx.num_groups();
+  std::vector<int> stage(static_cast<std::size_t>(G));
+  for (int g = 0; g < G; ++g) stage[static_cast<std::size_t>(g)] = g * 4 / G;
+  std::vector<int> bit(static_cast<std::size_t>(G), 1);  // int8
+  const AssignmentEval ev = ctx.evaluate(stage, bit);
+  ASSERT_TRUE(ev.feasible);
+  EXPECT_GT(ev.latency_s, 0.0);
+  EXPECT_GT(ev.t_pre_max, 0.0);
+  EXPECT_GT(ev.t_dec_max, 0.0);
+  EXPECT_GT(ev.omega, 0.0);
+  EXPECT_NEAR(ev.objective, ev.latency_s + h.inputs.theta * ev.omega, 1e-12);
+}
+
+TEST(PlanContext, QualityBudgetEnforced) {
+  Harness h(sq::model::ModelId::kOpt13B, 9, small_batch());
+  h.inputs.omega_budget = 0.0;  // only FP16 allowed
+  const PlanContext ctx = h.context(4, 8);
+  const int G = ctx.num_groups();
+  std::vector<int> stage(static_cast<std::size_t>(G));
+  for (int g = 0; g < G; ++g) stage[static_cast<std::size_t>(g)] = g * 4 / G;
+  std::vector<int> int8_bits(static_cast<std::size_t>(G), 1);
+  std::vector<int> fp16_bits(static_cast<std::size_t>(G), 0);
+  EXPECT_FALSE(ctx.evaluate(stage, int8_bits).feasible);
+  EXPECT_TRUE(ctx.evaluate(stage, fp16_bits).feasible);
+}
+
+TEST(PlanContext, ToPlanMergesConsecutiveGroups) {
+  const Harness h(sq::model::ModelId::kOpt13B, 9, small_batch());
+  const PlanContext ctx = h.context(4, 8);
+  const int G = ctx.num_groups();
+  std::vector<int> stage(static_cast<std::size_t>(G));
+  for (int g = 0; g < G; ++g) stage[static_cast<std::size_t>(g)] = g < G / 2 ? 0 : 2;
+  std::vector<int> bit(static_cast<std::size_t>(G), 1);
+  bit[0] = 0;  // first group fp16
+  const auto plan = ctx.to_plan(stage, bit, "test");
+  ASSERT_EQ(plan.stages.size(), 2u);  // stage 1 and 3 unused -> dropped
+  EXPECT_EQ(plan.stages[0].layer_begin, 0);
+  EXPECT_EQ(plan.stages[1].layer_end, h.model.n_layers);
+  EXPECT_EQ(plan.layer_bits[0], sq::hw::Bitwidth::kFp16);
+  EXPECT_EQ(plan.layer_bits[5], sq::hw::Bitwidth::kInt8);
+  EXPECT_EQ(plan.validate(h.model, h.cluster), "");
+}
+
+TEST(PlanContext, TpBudgetsScaleWithGroupSize) {
+  const Harness h(sq::model::ModelId::kOpt30B, 9, small_batch());
+  // TP4 topology: one stage of 4 devices.
+  const auto topos = enumerate_topologies(h.cluster, true, 16);
+  const Topology* tp4 = nullptr;
+  for (const auto& t : topos) {
+    if (t.groups.size() == 1 && t.groups[0].devices.size() == 4) tp4 = &t;
+  }
+  ASSERT_NE(tp4, nullptr);
+  const PlanContext ctx(h.inputs, *tp4, 4, 8, 4);
+  const PlanContext single = h.context(4, 8);
+  EXPECT_GT(ctx.mem_budget(0), 3.0 * single.mem_budget(0));
+}
+
+}  // namespace
+}  // namespace sq::core

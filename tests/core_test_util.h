@@ -1,0 +1,63 @@
+// Shared fixture plumbing for the core (assigner) tests: builds the
+// latency/quality models once per model+cluster combination.
+#pragma once
+
+#include <memory>
+
+#include "core/context.h"
+#include "core/planner.h"
+#include "core/topology.h"
+#include "cost/latency_model.h"
+#include "hw/paper_clusters.h"
+#include "model/registry.h"
+#include "quality/quality_model.h"
+
+namespace sq::core::testutil {
+
+inline const std::vector<sq::hw::Bitwidth>& all_bits() {
+  static const std::vector<sq::hw::Bitwidth> bits = {
+      sq::hw::Bitwidth::kFp16, sq::hw::Bitwidth::kInt8, sq::hw::Bitwidth::kInt4,
+      sq::hw::Bitwidth::kInt3};
+  return bits;
+}
+
+/// Everything a PlanContext needs, owned together so pointers stay valid.
+struct Harness {
+  sq::model::LlmSpec model;
+  sq::hw::Cluster cluster;
+  sq::cost::LatencyCostModel latency;
+  sq::quality::QualityModel quality;
+  PlanInputs inputs;
+
+  Harness(sq::model::ModelId id, int cluster_id, sq::sim::BatchWorkload w,
+          double theta = 1.0)
+      : model(sq::model::spec(id)),
+        cluster(sq::hw::paper_cluster(cluster_id)),
+        latency(model),
+        quality(model, all_bits()) {
+    Planner::profile_all(latency, cluster, all_bits());
+    inputs.model = &model;
+    inputs.cluster = &cluster;
+    inputs.latency = &latency;
+    inputs.workload = w;
+    inputs.bits = all_bits();
+    inputs.theta = theta;
+    const double k = quality.ppl_per_omega();
+    inputs.omega_ppl.assign(static_cast<std::size_t>(model.n_layers),
+                            std::vector<double>(all_bits().size(), 0.0));
+    for (int l = 0; l < model.n_layers; ++l) {
+      for (std::size_t bi = 0; bi < all_bits().size(); ++bi) {
+        inputs.omega_ppl[static_cast<std::size_t>(l)][bi] =
+            k * quality.indicators().at(static_cast<std::size_t>(l), all_bits()[bi]);
+      }
+    }
+  }
+
+  /// A context over the natural topology at the given micro-batch sizes.
+  PlanContext context(std::uint64_t eta, std::uint64_t xi, int group_size = 4) const {
+    const auto topos = natural_topologies(cluster, false);
+    return PlanContext(inputs, topos.front(), eta, xi, group_size);
+  }
+};
+
+}  // namespace sq::core::testutil

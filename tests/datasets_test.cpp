@@ -1,0 +1,91 @@
+// Tests for the workload generators (Fig. 7 / Sec. II-A distributions).
+#include <gtest/gtest.h>
+
+#include "workload/datasets.h"
+
+namespace sq::workload {
+namespace {
+
+TEST(Datasets, Deterministic) {
+  const auto a = sample(Dataset::kCnnDailyMail, 100, 7);
+  const auto b = sample(Dataset::kCnnDailyMail, 100, 7);
+  const auto c = sample(Dataset::kCnnDailyMail, 100, 8);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].prompt_tokens, b[i].prompt_tokens);
+    EXPECT_EQ(a[i].output_tokens, b[i].output_tokens);
+  }
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    differs |= a[i].prompt_tokens != c[i].prompt_tokens;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Datasets, CnnDailyMailMatchesPaperMeans) {
+  // Medium prompts, ~299 output tokens (paper Sec. VI-C).
+  const auto reqs = sample(Dataset::kCnnDailyMail, 5000, 1);
+  const auto [pin, pout] = mean_lengths(reqs);
+  EXPECT_NEAR(pout, 299.0, 25.0);
+  EXPECT_GT(pin, 500.0);
+  EXPECT_LT(pin, 1400.0);
+}
+
+TEST(Datasets, LoogleIsLongContextShortOutput) {
+  // Fig. 7: much longer inputs, ~63 output tokens.
+  const auto loogle = sample(Dataset::kLoogle, 5000, 2);
+  const auto cnn = sample(Dataset::kCnnDailyMail, 5000, 2);
+  const auto [lin, lout] = mean_lengths(loogle);
+  const auto [cin, cout] = mean_lengths(cnn);
+  EXPECT_NEAR(lout, 63.0, 10.0);
+  EXPECT_GT(lin, 5.0 * cin);
+  EXPECT_LT(lout, 0.5 * cout);
+}
+
+TEST(Datasets, ShareGptBucketFractions) {
+  // Sec. II-A: <=128 14.20%, 129-512 20.52%, 513-1024 14.24%,
+  // 1025-2048 14.53%, rest 36.51%.
+  const auto reqs = sample(Dataset::kShareGpt, 20000, 3);
+  std::vector<std::uint64_t> prompts;
+  for (const auto& r : reqs) prompts.push_back(r.prompt_tokens);
+  const LengthBuckets b = bucketize(prompts);
+  ASSERT_EQ(b.fractions.size(), 5u);
+  EXPECT_NEAR(b.fractions[0], 0.1420, 0.015);
+  EXPECT_NEAR(b.fractions[1], 0.2052, 0.015);
+  EXPECT_NEAR(b.fractions[2], 0.1424, 0.015);
+  EXPECT_NEAR(b.fractions[3], 0.1453, 0.015);
+  EXPECT_NEAR(b.fractions[4], 0.3651, 0.015);
+}
+
+TEST(Datasets, AllLengthsPositive) {
+  for (const Dataset d : {Dataset::kCnnDailyMail, Dataset::kLoogle, Dataset::kShareGpt}) {
+    for (const auto& r : sample(d, 500, 4)) {
+      EXPECT_GT(r.prompt_tokens, 0u) << to_string(d);
+      EXPECT_GT(r.output_tokens, 0u) << to_string(d);
+    }
+  }
+}
+
+TEST(Bucketize, EdgesAreInclusive) {
+  const std::vector<std::uint64_t> lens = {128, 129, 512, 513, 1024, 1025, 2048, 2049};
+  const LengthBuckets b = bucketize(lens);
+  EXPECT_DOUBLE_EQ(b.fractions[0], 1.0 / 8);
+  EXPECT_DOUBLE_EQ(b.fractions[1], 2.0 / 8);
+  EXPECT_DOUBLE_EQ(b.fractions[2], 2.0 / 8);
+  EXPECT_DOUBLE_EQ(b.fractions[3], 2.0 / 8);
+  EXPECT_DOUBLE_EQ(b.fractions[4], 1.0 / 8);
+}
+
+TEST(Bucketize, EmptyInput) {
+  const LengthBuckets b = bucketize({});
+  for (const double f : b.fractions) EXPECT_EQ(f, 0.0);
+}
+
+TEST(MeanLengths, EmptyIsZero) {
+  const auto [p, o] = mean_lengths({});
+  EXPECT_EQ(p, 0.0);
+  EXPECT_EQ(o, 0.0);
+}
+
+}  // namespace
+}  // namespace sq::workload

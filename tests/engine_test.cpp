@@ -1,0 +1,101 @@
+// Tests for the offline serving engine.
+#include <gtest/gtest.h>
+
+#include "hw/paper_clusters.h"
+#include "model/registry.h"
+#include "runtime/engine.h"
+
+namespace sq::runtime {
+namespace {
+
+using sq::hw::Bitwidth;
+
+sq::sim::ExecutionPlan plan_for(const sq::model::LlmSpec& m, int stages, Bitwidth b) {
+  sq::sim::ExecutionPlan p;
+  const int per = m.n_layers / stages;
+  for (int s = 0; s < stages; ++s) {
+    p.stages.push_back({{s}, s * per, s + 1 == stages ? m.n_layers : (s + 1) * per});
+  }
+  p.layer_bits.assign(static_cast<std::size_t>(m.n_layers), b);
+  p.prefill_microbatch = 4;
+  p.decode_microbatch = 16;
+  return p;
+}
+
+class EngineFixture : public ::testing::Test {
+ protected:
+  EngineFixture()
+      : m_(sq::model::spec(sq::model::ModelId::kOpt13B)),
+        c_(sq::hw::paper_cluster(9)) {}
+  sq::model::LlmSpec m_;
+  sq::hw::Cluster c_;
+};
+
+TEST_F(EngineFixture, ServesBatchesAndAggregates) {
+  const OfflineEngine eng(c_, m_, plan_for(m_, 4, Bitwidth::kInt8));
+  std::vector<sq::sim::BatchWorkload> batches = {{16, 512, 32, 2048},
+                                                 {16, 256, 16, 2048}};
+  const ServeStats s = eng.serve(batches);
+  ASSERT_TRUE(s.feasible) << s.failure;
+  EXPECT_EQ(s.batches, 2u);
+  EXPECT_GE(s.waves, 2u);
+  EXPECT_NEAR(s.output_tokens, 16.0 * 32 + 16.0 * 16, 1e-9);
+  EXPECT_GT(s.throughput_tok_s, 0.0);
+  EXPECT_GT(s.total_seconds, 0.0);
+}
+
+TEST_F(EngineFixture, RejectsInvalidPlan) {
+  auto p = plan_for(m_, 4, Bitwidth::kInt8);
+  p.stages[1].layer_begin += 1;  // break contiguity
+  const OfflineEngine eng(c_, m_, p);
+  const ServeStats s = eng.serve({{8, 256, 16, 2048}});
+  EXPECT_FALSE(s.feasible);
+  EXPECT_NE(s.failure.find("invalid plan"), std::string::npos);
+}
+
+TEST_F(EngineFixture, ReportsHardOom) {
+  const auto big = sq::model::spec(sq::model::ModelId::kOpt66B);
+  sq::sim::ExecutionPlan p;
+  p.stages.push_back({{0}, 0, big.n_layers});
+  p.layer_bits.assign(static_cast<std::size_t>(big.n_layers), Bitwidth::kFp16);
+  const OfflineEngine eng(sq::hw::paper_cluster(1), big, p);
+  const ServeStats s = eng.serve({{8, 256, 16, 2048}});
+  EXPECT_FALSE(s.feasible);
+  EXPECT_NE(s.failure.find("OOM"), std::string::npos);
+}
+
+TEST_F(EngineFixture, ConcurrencyCapSplitsIntoWaves) {
+  const OfflineEngine eng(c_, m_, plan_for(m_, 4, Bitwidth::kFp16));
+  const ServeStats s = eng.serve({{256, 1500, 64, 2048}});
+  ASSERT_TRUE(s.feasible) << s.failure;
+  EXPECT_EQ(s.batches, 1u);
+  EXPECT_GT(s.waves, 1u);
+  EXPECT_EQ(s.capped_batches, 1u);
+}
+
+TEST_F(EngineFixture, CustomBackendIsSlower) {
+  const auto plan = plan_for(m_, 4, Bitwidth::kInt8);
+  const OfflineEngine vllm(c_, m_, plan, Backend::kVllmStyle);
+  const OfflineEngine custom(c_, m_, plan, Backend::kCustom);
+  EXPECT_LT(custom.backend_efficiency(), vllm.backend_efficiency());
+  const std::vector<sq::sim::BatchWorkload> b = {{16, 512, 32, 2048}};
+  EXPECT_LT(custom.serve(b).throughput_tok_s, vllm.serve(b).throughput_tok_s);
+}
+
+TEST_F(EngineFixture, ServeRequestsEndToEnd) {
+  const OfflineEngine eng(c_, m_, plan_for(m_, 4, Bitwidth::kInt8));
+  const auto reqs = sq::workload::sample(sq::workload::Dataset::kCnnDailyMail, 64, 5);
+  const ServeStats s = eng.serve_requests(reqs, 32);
+  ASSERT_TRUE(s.feasible) << s.failure;
+  EXPECT_EQ(s.batches, 2u);
+  EXPECT_GT(s.output_tokens, 0.0);
+}
+
+TEST_F(EngineFixture, DeterministicServing) {
+  const OfflineEngine eng(c_, m_, plan_for(m_, 4, Bitwidth::kInt8));
+  const std::vector<sq::sim::BatchWorkload> b = {{16, 512, 32, 2048}};
+  EXPECT_EQ(eng.serve(b).total_seconds, eng.serve(b).total_seconds);
+}
+
+}  // namespace
+}  // namespace sq::runtime

@@ -1,0 +1,63 @@
+// Tests for the synthetic production-fleet statistics (Fig. 1 substrate).
+#include <gtest/gtest.h>
+
+#include "hw/fleet.h"
+
+namespace sq::hw {
+namespace {
+
+TEST(Fleet, SharesSumToOne) {
+  const FleetStats s = production_fleet_stats();
+  double total = 0.0;
+  for (const auto& e : s.entries) total += e.fleet_share;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Fleet, UtilizationInUnitInterval) {
+  const FleetStats s = production_fleet_stats(12, 7);
+  for (const auto& e : s.entries) {
+    ASSERT_EQ(e.monthly_utilization.size(), 12u);
+    for (const double u : e.monthly_utilization) {
+      EXPECT_GE(u, 0.0);
+      EXPECT_LE(u, 1.0);
+    }
+  }
+}
+
+TEST(Fleet, QualitativeShapeOfFig1) {
+  // A100s: small share, highest utilization.  T4s: largest share, low
+  // utilization — the idle capacity SplitQuant harvests.
+  const FleetStats s = production_fleet_stats();
+  double a100_share = 0, a100_util = 0, t4_share = 0, t4_util = 0;
+  for (const auto& e : s.entries) {
+    if (e.type == GpuType::kA100_40G) {
+      a100_share = e.fleet_share;
+      a100_util = mean_utilization(e);
+    }
+    if (e.type == GpuType::kT4) {
+      t4_share = e.fleet_share;
+      t4_util = mean_utilization(e);
+    }
+  }
+  EXPECT_LT(a100_share, t4_share);
+  EXPECT_GT(a100_util, 0.7);
+  EXPECT_LT(t4_util, 0.5);
+  EXPECT_GT(a100_util, t4_util + 0.3);
+}
+
+TEST(Fleet, SeededReproducibility) {
+  const FleetStats a = production_fleet_stats(6, 1);
+  const FleetStats b = production_fleet_stats(6, 1);
+  const FleetStats c = production_fleet_stats(6, 2);
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  EXPECT_EQ(a.entries[0].monthly_utilization, b.entries[0].monthly_utilization);
+  EXPECT_NE(a.entries[0].monthly_utilization, c.entries[0].monthly_utilization);
+}
+
+TEST(Fleet, MeanUtilizationOfEmptySeries) {
+  FleetEntry e;
+  EXPECT_EQ(mean_utilization(e), 0.0);
+}
+
+}  // namespace
+}  // namespace sq::hw

@@ -1,0 +1,108 @@
+// Tests for the GPTQ error-feedback quantizer.
+#include <gtest/gtest.h>
+
+#include "quant/gptq.h"
+#include "tensor/ops.h"
+
+namespace sq::quant {
+namespace {
+
+using sq::tensor::Tensor;
+
+Tensor randn(std::size_t r, std::size_t c, std::uint64_t seed, float sd) {
+  sq::tensor::Rng rng(seed);
+  Tensor t(r, c);
+  t.fill_normal(rng, 0.0f, sd);
+  return t;
+}
+
+class GptqFixture : public ::testing::Test {
+ protected:
+  GptqFixture()
+      : w_(randn(48, 64, 1, 0.1f)), x_(randn(200, 48, 2, 1.0f)) {}
+  Tensor w_;  // [in x out]
+  Tensor x_;  // [samples x in]
+};
+
+TEST_F(GptqFixture, ShapePreserved) {
+  GptqOptions o;
+  const auto r = gptq_quantize(w_, x_, o);
+  EXPECT_EQ(r.dequantized.rows(), w_.rows());
+  EXPECT_EQ(r.dequantized.cols(), w_.cols());
+}
+
+TEST_F(GptqFixture, BeatsRtnOnOutputError) {
+  // The whole point of GPTQ: lower ||WX - Q(W)X|| than round-to-nearest at
+  // the same bitwidth.
+  for (const auto bits : {sq::hw::Bitwidth::kInt4, sq::hw::Bitwidth::kInt3}) {
+    GptqOptions o;
+    o.bits = bits;
+    const auto gptq = gptq_quantize(w_, x_, o);
+    const auto rtn = rtn_quantize(w_, x_, o);
+    EXPECT_LT(gptq.output_mse, rtn.output_mse * 0.9)
+        << sq::hw::to_string(bits);
+  }
+}
+
+TEST_F(GptqFixture, WeightErrorMayRiseButStaysBounded) {
+  // GPTQ deliberately trades weight-space error for output-space error;
+  // the weight MSE must stay within a small factor of RTN's.
+  GptqOptions o;
+  const auto gptq = gptq_quantize(w_, x_, o);
+  const auto rtn = rtn_quantize(w_, x_, o);
+  EXPECT_LT(gptq.weight_mse, rtn.weight_mse * 4.0);
+  EXPECT_GT(gptq.weight_mse, 0.0);
+}
+
+TEST_F(GptqFixture, EmptyCalibrationFallsBackToRtn) {
+  GptqOptions o;
+  const Tensor empty;
+  const auto a = gptq_quantize(w_, empty, o);
+  const auto b = rtn_quantize(w_, empty, o);
+  EXPECT_EQ(a.weight_mse, b.weight_mse);
+  EXPECT_EQ(a.output_mse, 0.0);
+}
+
+TEST_F(GptqFixture, MismatchedCalibrationFallsBackToRtn) {
+  GptqOptions o;
+  const Tensor wrong = randn(10, 7, 3, 1.0f);  // cols != in
+  const auto a = gptq_quantize(w_, wrong, o);
+  EXPECT_EQ(a.output_mse, 0.0);
+}
+
+TEST_F(GptqFixture, Int8NearLossless) {
+  GptqOptions o;
+  o.bits = sq::hw::Bitwidth::kInt8;
+  const auto r = gptq_quantize(w_, x_, o);
+  EXPECT_LT(r.output_mse, 1e-4);
+}
+
+TEST_F(GptqFixture, Deterministic) {
+  GptqOptions o;
+  const auto a = gptq_quantize(w_, x_, o);
+  const auto b = gptq_quantize(w_, x_, o);
+  EXPECT_EQ(a.output_mse, b.output_mse);
+  EXPECT_LT(sq::tensor::mse(a.dequantized, b.dequantized), 1e-15);
+}
+
+TEST_F(GptqFixture, CorrelatedInputsAmplifyGptqAdvantage) {
+  // With strongly anisotropic inputs the inverse-Hessian weighting matters
+  // more; GPTQ's win over RTN should be clear.
+  Tensor x(200, 48);
+  sq::tensor::Rng rng(5);
+  for (std::size_t s = 0; s < x.rows(); ++s) {
+    const double shared = rng.normal(0.0, 2.0);
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      x.at(s, c) = static_cast<float>(shared * (c % 4 == 0 ? 1.5 : 0.2) +
+                                      rng.normal(0.0, 0.3));
+    }
+  }
+  GptqOptions o;
+  o.bits = sq::hw::Bitwidth::kInt3;
+  const auto gptq = gptq_quantize(w_, x, o);
+  const auto rtn = rtn_quantize(w_, x, o);
+  EXPECT_LT(gptq.output_mse, rtn.output_mse * 0.8);
+}
+
+}  // namespace
+}  // namespace sq::quant

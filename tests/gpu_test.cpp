@@ -1,0 +1,83 @@
+// Tests for the GPU device model and its calibration invariants.
+#include <gtest/gtest.h>
+
+#include "hw/gpu.h"
+
+namespace sq::hw {
+namespace {
+
+TEST(GpuSpec, AllTypesHaveSaneDatasheets) {
+  for (const GpuType t : {GpuType::kT4, GpuType::kP100, GpuType::kV100,
+                          GpuType::kA100_40G}) {
+    const GpuSpec g = gpu_spec(t);
+    EXPECT_FALSE(g.name.empty());
+    EXPECT_GT(g.memory_bytes, 8ULL << 30);
+    EXPECT_GT(g.hbm_gbps, 100.0);
+    EXPECT_GT(g.fp16_tflops, 1.0);
+    EXPECT_GT(g.usable_memory_bytes(), 0u);
+    EXPECT_LT(g.usable_memory_bytes(), g.memory_bytes);
+  }
+}
+
+TEST(GpuSpec, CapabilityFlagsMatchGenerations) {
+  EXPECT_TRUE(gpu_spec(GpuType::kT4).has_int8_tensor_core);
+  EXPECT_TRUE(gpu_spec(GpuType::kA100_40G).has_int8_tensor_core);
+  EXPECT_FALSE(gpu_spec(GpuType::kV100).has_int8_tensor_core);
+  EXPECT_TRUE(gpu_spec(GpuType::kV100).has_fast_int8);  // dp4a
+  EXPECT_FALSE(gpu_spec(GpuType::kP100).has_fast_int8);
+  EXPECT_FALSE(gpu_spec(GpuType::kP100).has_fp16_tensor_core);
+}
+
+TEST(GpuSpec, NeedsDequantLogic) {
+  const GpuSpec t4 = gpu_spec(GpuType::kT4);
+  const GpuSpec p100 = gpu_spec(GpuType::kP100);
+  // 3/4-bit are always weight-only.
+  EXPECT_TRUE(t4.needs_dequant(Bitwidth::kInt4));
+  EXPECT_TRUE(t4.needs_dequant(Bitwidth::kInt3));
+  // INT8 is native where the silicon supports it.
+  EXPECT_FALSE(t4.needs_dequant(Bitwidth::kInt8));
+  EXPECT_TRUE(p100.needs_dequant(Bitwidth::kInt8));
+  // FP16 never dequantizes.
+  EXPECT_FALSE(p100.needs_dequant(Bitwidth::kFp16));
+}
+
+TEST(GpuSpec, EffectiveTflopsRespectsPhaseAndPrecision) {
+  const GpuSpec v100 = gpu_spec(GpuType::kV100);
+  // Prefill utilization exceeds decode utilization.
+  EXPECT_GT(v100.effective_tflops(Bitwidth::kFp16, true),
+            v100.effective_tflops(Bitwidth::kFp16, false));
+  // T4's INT8 tensor cores beat its FP16 peak (Sec. II-E).
+  const GpuSpec t4 = gpu_spec(GpuType::kT4);
+  EXPECT_GT(t4.effective_tflops(Bitwidth::kInt8, true),
+            t4.effective_tflops(Bitwidth::kFp16, true));
+  // Weight-only kernels are derated vs plain FP16.
+  EXPECT_LT(t4.effective_tflops(Bitwidth::kInt4, true),
+            t4.effective_tflops(Bitwidth::kFp16, true));
+}
+
+TEST(GpuSpec, P100IsTheSlowGeneration) {
+  const GpuSpec p100 = gpu_spec(GpuType::kP100);
+  const GpuSpec v100 = gpu_spec(GpuType::kV100);
+  EXPECT_LT(p100.effective_tflops(Bitwidth::kFp16, true),
+            0.2 * v100.effective_tflops(Bitwidth::kFp16, true));
+}
+
+TEST(ArithmeticIntensity, A100AndT4HaveHighRatio) {
+  // The paper cites ~200 FLOPs/byte compute-to-memory gaps on T4/A100.
+  EXPECT_GT(arithmetic_intensity(gpu_spec(GpuType::kT4)), 150.0);
+  EXPECT_GT(arithmetic_intensity(gpu_spec(GpuType::kA100_40G)), 150.0);
+  EXPECT_LT(arithmetic_intensity(gpu_spec(GpuType::kP100)), 60.0);
+}
+
+TEST(Bitwidth, NamesAndValues) {
+  EXPECT_EQ(bits(Bitwidth::kInt3), 3);
+  EXPECT_EQ(bits(Bitwidth::kInt4), 4);
+  EXPECT_EQ(bits(Bitwidth::kInt8), 8);
+  EXPECT_EQ(bits(Bitwidth::kFp16), 16);
+  EXPECT_STREQ(to_string(Bitwidth::kInt4), "int4");
+  EXPECT_STREQ(to_string(Bitwidth::kFp16), "fp16");
+  EXPECT_STREQ(to_string(GpuType::kA100_40G), "A100-40G");
+}
+
+}  // namespace
+}  // namespace sq::hw

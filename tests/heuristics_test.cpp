@@ -1,0 +1,140 @@
+// Tests for the heuristic planners: greedy, adabits, bitwidth transfer.
+#include <gtest/gtest.h>
+
+#include "core_test_util.h"
+
+namespace sq::core {
+namespace {
+
+using testutil::Harness;
+
+sq::sim::BatchWorkload batch() { return {8, 512, 32, 2048}; }
+
+TEST(BalancedPartition, HeterogeneousSpeedsSkewCounts) {
+  // Cluster 5 (3x T4 + 1x V100) at FP16: the V100 is 2-3x faster than a
+  // T4, so its stage should receive more layer groups.  (At INT8 the
+  // skew flips — T4 tensor cores beat V100's dp4a — which is exactly the
+  // precision-dependence the planner exploits.)
+  const Harness h(sq::model::ModelId::kOpt13B, 5, batch());
+  const PlanContext ctx = h.context(2, 8, 2);
+  const auto stage = balanced_partition(ctx, 0);  // fp16
+  ASSERT_FALSE(stage.empty());
+  std::vector<int> counts(4, 0);
+  for (const int s : stage) ++counts[static_cast<std::size_t>(s)];
+  EXPECT_GT(counts[3], counts[0]);  // V100 is stage 3 in natural order
+}
+
+TEST(BalancedPartition, PrefillOnlyMetricDiffers) {
+  // T4-vs-V100 speed ratios differ between prefill (~2x, compute) and
+  // decode (~3x, bandwidth), so phase-aware balancing shifts the cuts.
+  const Harness h(sq::model::ModelId::kOpt13B, 5, batch());
+  const PlanContext ctx = h.context(2, 8, 1);
+  const auto combined = balanced_partition(ctx, 0, PartitionMetric::kCombined);
+  const auto prefill = balanced_partition(ctx, 0, PartitionMetric::kPrefillOnly);
+  ASSERT_FALSE(combined.empty());
+  ASSERT_FALSE(prefill.empty());
+  EXPECT_NE(combined, prefill);
+}
+
+TEST(BalancedPartition, InfeasibleWhenNothingFits) {
+  // OPT-66B at FP16 on cluster 8 (4x T4 = 64 GB) cannot fit: per-group
+  // capacity check must fail.
+  const Harness h(sq::model::ModelId::kOpt66B, 8, batch());
+  const PlanContext ctx = h.context(2, 8, 4);
+  EXPECT_TRUE(balanced_partition(ctx, 0).empty());  // fp16
+}
+
+TEST(EvenPartition, CoversAllStagesInOrder) {
+  const Harness h(sq::model::ModelId::kOpt13B, 9, batch());
+  const PlanContext ctx = h.context(4, 8, 4);
+  const auto stage = even_partition(ctx);
+  ASSERT_EQ(stage.size(), static_cast<std::size_t>(ctx.num_groups()));
+  EXPECT_EQ(stage.front(), 0);
+  EXPECT_EQ(stage.back(), ctx.num_stages() - 1);
+  for (std::size_t g = 1; g < stage.size(); ++g) EXPECT_GE(stage[g], stage[g - 1]);
+}
+
+TEST(GreedyPlan, ProducesFeasiblePlan) {
+  const Harness h(sq::model::ModelId::kOpt30B, 5, batch());
+  const PlanContext ctx = h.context(2, 8, 4);
+  const auto g = greedy_plan(ctx);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_TRUE(g->eval.feasible);
+  EXPECT_GT(g->eval.objective, 0.0);
+}
+
+TEST(GreedyPlan, NulloptWhenModelCannotFit) {
+  // Llama-70B on a single V100 is hopeless even at INT3.
+  const Harness h(sq::model::ModelId::kLlama33_70B, 1, batch());
+  const PlanContext ctx = h.context(2, 8, 8);
+  EXPECT_FALSE(greedy_plan(ctx).has_value());
+}
+
+TEST(AdabitsPlan, MinimizesOmegaWithinMemory) {
+  const Harness h(sq::model::ModelId::kOpt30B, 5, batch());
+  const PlanContext ctx = h.context(2, 8, 4);
+  const auto a = adabits_plan(ctx);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(a->eval.feasible);
+  // adabits fixes the even partition.
+  EXPECT_EQ(a->group_stage, even_partition(ctx));
+  // Quality must be at least as good as all-narrowest (it only upgrades).
+  std::vector<int> narrow_bits(static_cast<std::size_t>(ctx.num_groups()), 3);  // int3
+  const auto narrow = ctx.evaluate(a->group_stage, narrow_bits);
+  if (narrow.feasible) {
+    EXPECT_LE(a->eval.omega, narrow.omega + 1e-12);
+  }
+}
+
+TEST(AdabitsPlan, SpendsSpareMemoryOnWiderBits) {
+  // On a roomy homogeneous cluster adabits should not leave everything at
+  // the narrowest precision.
+  const Harness h(sq::model::ModelId::kOpt13B, 9, batch());
+  const PlanContext ctx = h.context(4, 8, 4);
+  const auto a = adabits_plan(ctx);
+  ASSERT_TRUE(a.has_value());
+  int narrowest = 0;
+  for (const int bi : a->group_bit) {
+    narrowest += sq::hw::bits(h.inputs.bits[static_cast<std::size_t>(bi)]) == 3;
+  }
+  EXPECT_EQ(narrowest, 0);
+}
+
+TEST(BitwidthTransfer, NeverWorsensObjective) {
+  const Harness h(sq::model::ModelId::kOpt30B, 5, batch());
+  const PlanContext ctx = h.context(2, 8, 4);
+  const auto a = adabits_plan(ctx);
+  ASSERT_TRUE(a.has_value());
+  const HeuristicPlan improved = bitwidth_transfer(ctx, *a);
+  EXPECT_TRUE(improved.eval.feasible);
+  EXPECT_LE(improved.eval.objective, a->eval.objective + 1e-9);
+}
+
+TEST(BitwidthTransfer, ImprovesUnbalancedStart) {
+  // Start from the even partition at uniform widest-feasible bits on a
+  // heterogeneous cluster: the local search must strictly improve it.
+  const Harness h(sq::model::ModelId::kOpt30B, 6, batch());
+  const PlanContext ctx = h.context(2, 8, 4);
+  const auto a = adabits_plan(ctx);
+  ASSERT_TRUE(a.has_value());
+  const HeuristicPlan improved = bitwidth_transfer(ctx, *a);
+  EXPECT_LT(improved.eval.objective, a->eval.objective * 0.98);
+}
+
+TEST(BitwidthTransfer, PreservesStructuralInvariants) {
+  const Harness h(sq::model::ModelId::kOpt30B, 7, batch());
+  const PlanContext ctx = h.context(2, 8, 4);
+  const auto g = greedy_plan(ctx);
+  ASSERT_TRUE(g.has_value());
+  const HeuristicPlan r = bitwidth_transfer(ctx, *g);
+  EXPECT_EQ(r.group_stage.front(), 0);
+  for (std::size_t i = 1; i < r.group_stage.size(); ++i) {
+    EXPECT_GE(r.group_stage[i], r.group_stage[i - 1]);
+  }
+  const auto ev = ctx.evaluate(r.group_stage, r.group_bit);
+  EXPECT_TRUE(ev.feasible);
+  EXPECT_NEAR(ev.objective, r.eval.objective, 1e-9);
+}
+
+}  // namespace
+}  // namespace sq::core

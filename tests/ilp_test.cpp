@@ -1,0 +1,109 @@
+// Tests for the ILP formulation + branch-and-bound pipeline.
+#include <gtest/gtest.h>
+
+#include "core_test_util.h"
+#include "core/ilp.h"
+
+namespace sq::core {
+namespace {
+
+using testutil::Harness;
+
+sq::sim::BatchWorkload batch() { return {8, 512, 32, 2048}; }
+
+sq::solver::MilpOptions quick_opts() {
+  sq::solver::MilpOptions o;
+  o.time_limit_s = 20.0;
+  return o;
+}
+
+TEST(Ilp, SolvesSmallInstanceOptimally) {
+  const Harness h(sq::model::ModelId::kOpt13B, 9, batch());
+  const PlanContext ctx = h.context(4, 8, 8);  // 5 groups x 4 stages x 4 bits
+  const auto warm = greedy_plan(ctx);
+  ASSERT_TRUE(warm.has_value());
+  const IlpOutcome out = solve_ilp(ctx, warm, quick_opts());
+  ASSERT_TRUE(out.feasible);
+  EXPECT_TRUE(out.proven_optimal);
+  EXPECT_LE(out.objective, warm->eval.objective + 1e-9);
+  EXPECT_GT(out.nodes, 0);
+}
+
+TEST(Ilp, ExtractedPlanSatisfiesAllConstraints) {
+  const Harness h(sq::model::ModelId::kOpt30B, 5, batch());
+  const PlanContext ctx = h.context(2, 8, 8);
+  const IlpOutcome out = solve_ilp(ctx, greedy_plan(ctx), quick_opts());
+  ASSERT_TRUE(out.feasible);
+  // evaluate() re-checks memory, monotonicity, anchor, budget.
+  const auto ev = ctx.evaluate(out.plan.group_stage, out.plan.group_bit);
+  EXPECT_TRUE(ev.feasible);
+  EXPECT_NEAR(ev.objective, out.objective, 1e-9);
+}
+
+TEST(Ilp, BeatsOrMatchesAllHeuristics) {
+  const Harness h(sq::model::ModelId::kOpt30B, 6, batch());
+  const PlanContext ctx = h.context(2, 8, 8);
+  const auto g = greedy_plan(ctx);
+  const auto a = adabits_plan(ctx);
+  ASSERT_TRUE(g.has_value());
+  const IlpOutcome out = solve_ilp(ctx, g, quick_opts());
+  ASSERT_TRUE(out.feasible);
+  EXPECT_LE(out.objective, g->eval.objective + 1e-9);
+  if (a) {
+    const HeuristicPlan t = bitwidth_transfer(ctx, *a);
+    if (out.proven_optimal) {
+      EXPECT_LE(out.objective, t.eval.objective + 1e-6);
+    }
+  }
+}
+
+TEST(Ilp, QualityOnlyModeMinimizesOmega) {
+  Harness h(sq::model::ModelId::kOpt30B, 5, batch());
+  const PlanContext ctx = h.context(2, 8, 8);
+  const IlpOutcome quality = solve_ilp(ctx, std::nullopt, quick_opts(), true);
+  const IlpOutcome full = solve_ilp(ctx, std::nullopt, quick_opts(), false);
+  ASSERT_TRUE(quality.feasible);
+  ASSERT_TRUE(full.feasible);
+  // The quality-only solution cannot have more omega than the joint one.
+  EXPECT_LE(quality.plan.eval.omega, full.plan.eval.omega + 1e-9);
+}
+
+TEST(Ilp, InfeasibleWhenModelTooBig) {
+  const Harness h(sq::model::ModelId::kLlama33_70B, 1, batch());
+  const PlanContext ctx = h.context(2, 8, 16);
+  const IlpOutcome out = solve_ilp(ctx, std::nullopt, quick_opts());
+  EXPECT_FALSE(out.feasible);
+}
+
+TEST(Ilp, QualityBudgetShapesSolution) {
+  Harness loose(sq::model::ModelId::kOpt13B, 9, batch(), 0.0);
+  const PlanContext ctx_loose = loose.context(4, 8, 8);
+  const IlpOutcome unconstrained = solve_ilp(ctx_loose, greedy_plan(ctx_loose), quick_opts());
+  ASSERT_TRUE(unconstrained.feasible);
+
+  Harness tight(sq::model::ModelId::kOpt13B, 9, batch(), 0.0);
+  tight.inputs.omega_budget = 0.0;  // FP16 only
+  const PlanContext ctx_tight = tight.context(4, 8, 8);
+  const IlpOutcome constrained = solve_ilp(ctx_tight, greedy_plan(ctx_tight), quick_opts());
+  ASSERT_TRUE(constrained.feasible);
+  EXPECT_NEAR(constrained.plan.eval.omega, 0.0, 1e-12);
+  for (const int bi : constrained.plan.group_bit) {
+    EXPECT_EQ(tight.inputs.bits[static_cast<std::size_t>(bi)], sq::hw::Bitwidth::kFp16);
+  }
+}
+
+TEST(Ilp, TimeLimitZeroFallsBackToWarmStart) {
+  const Harness h(sq::model::ModelId::kOpt30B, 5, batch());
+  const PlanContext ctx = h.context(2, 8, 4);
+  const auto warm = greedy_plan(ctx);
+  ASSERT_TRUE(warm.has_value());
+  sq::solver::MilpOptions o;
+  o.time_limit_s = 0.0;
+  const IlpOutcome out = solve_ilp(ctx, warm, o);
+  ASSERT_TRUE(out.feasible);  // warm start is still an incumbent
+  EXPECT_TRUE(out.hit_time_limit);
+  EXPECT_NEAR(out.objective, warm->eval.objective, 1e-9);
+}
+
+}  // namespace
+}  // namespace sq::core

@@ -1,0 +1,161 @@
+// Tests for the roofline kernel-time model, including the calibration
+// targets from the paper's Fig. 3 and the Fig. 5 qualitative shapes.
+#include <gtest/gtest.h>
+
+#include "model/registry.h"
+#include "sim/kernel_model.h"
+
+namespace sq::sim {
+namespace {
+
+using sq::hw::Bitwidth;
+using sq::hw::GpuType;
+using sq::model::ModelId;
+using sq::model::Phase;
+
+class KernelModelFixture : public ::testing::Test {
+ protected:
+  KernelModelFixture()
+      : m30_(sq::model::spec(ModelId::kOpt30B)),
+        m13_(sq::model::spec(ModelId::kOpt13B)),
+        t4_(sq::hw::gpu_spec(GpuType::kT4)),
+        p100_(sq::hw::gpu_spec(GpuType::kP100)),
+        v100_(sq::hw::gpu_spec(GpuType::kV100)),
+        a100_(sq::hw::gpu_spec(GpuType::kA100_40G)) {}
+
+  KernelModel km_;
+  KernelModel gt_{{.ground_truth = true, .seed = 11}};
+  sq::model::LlmSpec m30_, m13_;
+  sq::hw::GpuSpec t4_, p100_, v100_, a100_;
+};
+
+TEST_F(KernelModelFixture, TimesArePositiveAndFinite) {
+  for (const Phase ph : {Phase::kPrefill, Phase::kDecode}) {
+    for (const Bitwidth b : sq::hw::kAllBitwidths) {
+      const double t = km_.layer_time_us(v100_, m30_, ph, 8, 512, b);
+      EXPECT_GT(t, 0.0);
+      EXPECT_LT(t, 1e9);
+    }
+  }
+}
+
+TEST_F(KernelModelFixture, Fig3PrefillRatioP100VsV100) {
+  // Paper: single FP16 layer prefill on P100 is ~14.5x slower than V100.
+  const double p = gt_.layer_time_us(p100_, m30_, Phase::kPrefill, 8, 512,
+                                     Bitwidth::kFp16);
+  const double v = gt_.layer_time_us(v100_, m30_, Phase::kPrefill, 8, 512,
+                                     Bitwidth::kFp16);
+  EXPECT_NEAR(p / v, 14.53, 2.5);
+}
+
+TEST_F(KernelModelFixture, Fig3DecodeRatioP100VsV100) {
+  // Paper: ~7.3x for the decode phase.
+  const double p = gt_.layer_time_us(p100_, m30_, Phase::kDecode, 8, 512,
+                                     Bitwidth::kFp16);
+  const double v = gt_.layer_time_us(v100_, m30_, Phase::kDecode, 8, 512,
+                                     Bitwidth::kFp16);
+  EXPECT_NEAR(p / v, 7.29, 1.8);
+}
+
+TEST_F(KernelModelFixture, Fig5Fp16KeepsPrefillAdvantageOverWeightOnly) {
+  // Weight-only 3/4-bit kernels lose to FP16 in the compute-bound prefill.
+  for (const auto* g : {&t4_, &v100_, &a100_}) {
+    const double f = km_.layer_time_us(*g, m30_, Phase::kPrefill, 8, 512,
+                                       Bitwidth::kFp16);
+    const double i4 = km_.layer_time_us(*g, m30_, Phase::kPrefill, 8, 512,
+                                        Bitwidth::kInt4);
+    EXPECT_LT(f, i4) << g->name;
+  }
+}
+
+TEST_F(KernelModelFixture, Fig5QuantizationSpeedsUpDecode) {
+  // Decode is memory-bound: narrower weights are faster.
+  for (const auto* g : {&t4_, &v100_, &a100_}) {
+    const double f = km_.layer_time_us(*g, m30_, Phase::kDecode, 1, 512,
+                                       Bitwidth::kFp16);
+    const double i4 = km_.layer_time_us(*g, m30_, Phase::kDecode, 1, 512,
+                                        Bitwidth::kInt4);
+    EXPECT_GT(f / i4, 1.5) << g->name;
+  }
+}
+
+TEST_F(KernelModelFixture, T4Int8TensorCoresWinPrefill) {
+  // Sec. II-E: T4's INT8 tensor cores make 8-bit fast.
+  const double f = km_.layer_time_us(t4_, m30_, Phase::kPrefill, 8, 512,
+                                     Bitwidth::kFp16);
+  const double i8 = km_.layer_time_us(t4_, m30_, Phase::kPrefill, 8, 512,
+                                      Bitwidth::kInt8);
+  EXPECT_LT(i8, f);
+}
+
+TEST_F(KernelModelFixture, V100Int8IsShapeDependentAndOftenSlow) {
+  // No INT8 tensor cores on V100: large-batch decode at INT8 loses to FP16.
+  const double i8 = km_.layer_time_us(v100_, m30_, Phase::kDecode, 32, 512,
+                                      Bitwidth::kInt8);
+  const double f = km_.layer_time_us(v100_, m30_, Phase::kDecode, 32, 512,
+                                     Bitwidth::kFp16);
+  EXPECT_GT(i8, f);
+}
+
+TEST_F(KernelModelFixture, DecodeTimeGrowsWithContext) {
+  const double short_ctx = km_.layer_time_us(v100_, m30_, Phase::kDecode, 8, 256,
+                                             Bitwidth::kFp16);
+  const double long_ctx = km_.layer_time_us(v100_, m30_, Phase::kDecode, 8, 4096,
+                                            Bitwidth::kFp16);
+  EXPECT_GT(long_ctx, short_ctx);
+}
+
+TEST_F(KernelModelFixture, PrefillScalesWithBatch) {
+  const double v8 = km_.layer_time_us(v100_, m13_, Phase::kPrefill, 8, 512,
+                                      Bitwidth::kFp16);
+  const double v32 = km_.layer_time_us(v100_, m13_, Phase::kPrefill, 32, 512,
+                                       Bitwidth::kFp16);
+  EXPECT_NEAR(v32 / v8, 4.0, 1.0);
+}
+
+TEST_F(KernelModelFixture, TensorParallelismSpeedsUpLargeKernels) {
+  const double tp1 = km_.layer_time_us(v100_, m30_, Phase::kPrefill, 32, 2048,
+                                       Bitwidth::kFp16, Bitwidth::kFp16, 1);
+  const double tp4 = km_.layer_time_us(v100_, m30_, Phase::kPrefill, 32, 2048,
+                                       Bitwidth::kFp16, Bitwidth::kFp16, 4, 300.0);
+  EXPECT_GT(tp1 / tp4, 2.0);
+  EXPECT_LT(tp1 / tp4, 4.0);  // all-reduce overhead keeps it sublinear
+}
+
+TEST_F(KernelModelFixture, GroundTruthJitterIsDeterministic) {
+  const KernelModel a({.ground_truth = true, .seed = 5});
+  const KernelModel b({.ground_truth = true, .seed = 5});
+  const KernelModel c({.ground_truth = true, .seed = 6});
+  const double ta = a.layer_time_us(t4_, m13_, Phase::kDecode, 4, 300, Bitwidth::kInt8);
+  EXPECT_EQ(ta, b.layer_time_us(t4_, m13_, Phase::kDecode, 4, 300, Bitwidth::kInt8));
+  EXPECT_NE(ta, c.layer_time_us(t4_, m13_, Phase::kDecode, 4, 300, Bitwidth::kInt8));
+}
+
+TEST_F(KernelModelFixture, GroundTruthStaysNearAnalytic) {
+  // The nonlinearities perturb, not replace, the roofline estimate.
+  const double a = km_.layer_time_us(v100_, m30_, Phase::kPrefill, 8, 1024,
+                                     Bitwidth::kFp16);
+  const double g = gt_.layer_time_us(v100_, m30_, Phase::kPrefill, 8, 1024,
+                                     Bitwidth::kFp16);
+  EXPECT_NEAR(g / a, 1.0, 0.25);
+}
+
+TEST_F(KernelModelFixture, EmbedAndHeadTimes) {
+  const double e = km_.embed_time_us(v100_, m30_, 4096);
+  const double h = km_.lm_head_time_us(v100_, m30_, 256);
+  EXPECT_GT(e, 0.0);
+  EXPECT_GT(h, 0.0);
+  // LM head over the full vocabulary dwarfs the embedding gather.
+  EXPECT_GT(h, e);
+}
+
+TEST_F(KernelModelFixture, CommTimeScalesWithBytesAndBandwidth) {
+  const double slow = km_.comm_time_us(1e9, 12.5);   // 100 Gbps
+  const double fast = km_.comm_time_us(1e9, 100.0);  // 800 Gbps
+  EXPECT_GT(slow, fast);
+  EXPECT_NEAR(slow / fast, 8.0, 1.0);
+  EXPECT_GT(km_.comm_time_us(0.0, 100.0), 0.0);  // latency floor
+}
+
+}  // namespace
+}  // namespace sq::sim

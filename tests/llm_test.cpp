@@ -1,0 +1,114 @@
+// Tests for the LLM accounting: parameter counts, memory formulas,
+// FLOPs/MOPs per phase.
+#include <gtest/gtest.h>
+
+#include "model/registry.h"
+
+namespace sq::model {
+namespace {
+
+using sq::hw::Bitwidth;
+
+TEST(LlmSpec, Opt30BParameterCount) {
+  const LlmSpec m = spec(ModelId::kOpt30B);
+  // Published size ~30B.
+  EXPECT_NEAR(static_cast<double>(m.total_params()) / 1e9, 30.0, 1.5);
+}
+
+TEST(LlmSpec, LayerLinearParamsFormula) {
+  const LlmSpec m = spec(ModelId::kOpt13B);
+  // Classic MHA decoder: 4*h1^2 + 2*h1*h2 (paper memory model).
+  EXPECT_EQ(m.layer_linear_params(), 4 * m.h1 * m.h1 + 2 * m.h1 * m.h2);
+}
+
+TEST(LlmSpec, GqaShrinksAttentionParams) {
+  const LlmSpec qwen = spec(ModelId::kQwen25_14B);
+  // K/V projections use kv_dim < h1.
+  EXPECT_LT(qwen.kv_dim, qwen.h1);
+  EXPECT_LT(qwen.layer_linear_params(),
+            4 * qwen.h1 * qwen.h1 + 3 * qwen.h1 * qwen.h2);
+}
+
+TEST(LlmSpec, WeightBytesScaleWithBitwidth) {
+  const LlmSpec m = spec(ModelId::kOpt30B);
+  const auto b16 = m.layer_weight_bytes(Bitwidth::kFp16);
+  const auto b8 = m.layer_weight_bytes(Bitwidth::kInt8);
+  const auto b4 = m.layer_weight_bytes(Bitwidth::kInt4);
+  const auto b3 = m.layer_weight_bytes(Bitwidth::kInt3);
+  // Norm params stay FP16, so ratios are slightly above bit/16.
+  EXPECT_NEAR(static_cast<double>(b8) / b16, 0.5, 0.01);
+  EXPECT_NEAR(static_cast<double>(b4) / b16, 0.25, 0.01);
+  EXPECT_GT(b4, b3);
+}
+
+TEST(LlmSpec, EmbeddingBytesNeverQuantized) {
+  const LlmSpec m = spec(ModelId::kOpt13B);
+  // vocab*d_t (tok) + pos*d_t + vocab*d_t (head), all FP16.
+  const std::uint64_t expected =
+      (m.vocab_s * m.d_t + m.pos_s * m.d_t + m.vocab_s * m.d_t) * 2;
+  EXPECT_EQ(m.embedding_bytes(), expected);
+}
+
+TEST(LlmSpec, BloomHasNoPositionTable) {
+  const LlmSpec m = spec(ModelId::kBloom3B);
+  EXPECT_FALSE(m.learned_pos_emb);
+  EXPECT_EQ(m.embedding_bytes(), 2 * (2 * m.vocab_s * m.d_t));
+}
+
+TEST(LlmSpec, KvBytesFormula) {
+  const LlmSpec m = spec(ModelId::kOpt30B);
+  // 2 * ctx * h1 * bit/8.
+  EXPECT_EQ(m.layer_kv_bytes(1000, Bitwidth::kFp16), 2 * 1000 * m.h1 * 2);
+  EXPECT_EQ(m.layer_kv_bytes(1000, Bitwidth::kInt8), 2 * 1000 * m.h1);
+}
+
+TEST(LlmSpec, KvBytesUseGqaWidth) {
+  const LlmSpec m = spec(ModelId::kLlama33_70B);
+  EXPECT_EQ(m.layer_kv_bytes(100, Bitwidth::kFp16), 2 * 100 * m.kv_dim * 2);
+}
+
+TEST(LlmSpec, PrefillFlopsQuadraticInSequence) {
+  const LlmSpec m = spec(ModelId::kOpt13B);
+  const double f1 = m.layer_prefill_flops(1, 512);
+  const double f2 = m.layer_prefill_flops(1, 1024);
+  // Projections double, attention quadruples: ratio in (2, 4).
+  EXPECT_GT(f2 / f1, 2.0);
+  EXPECT_LT(f2 / f1, 4.0);
+}
+
+TEST(LlmSpec, DecodeFlopsLinearInBatch) {
+  const LlmSpec m = spec(ModelId::kOpt13B);
+  EXPECT_NEAR(m.layer_decode_flops(16, 512) / m.layer_decode_flops(8, 512), 2.0, 1e-9);
+}
+
+TEST(LlmSpec, DecodeMopsDominatedByWeightsAtSmallBatch) {
+  const LlmSpec m = spec(ModelId::kOpt30B);
+  const double mops = m.layer_decode_mops(1, 128, Bitwidth::kFp16, Bitwidth::kFp16);
+  const double weights = static_cast<double>(m.layer_weight_bytes(Bitwidth::kFp16));
+  EXPECT_GT(weights / mops, 0.9);
+}
+
+TEST(LlmSpec, PrefillArithmeticIntensityFarExceedsDecode) {
+  // The Sec. IV-A motivation: prefill AI in the thousands, decode ~tens.
+  const LlmSpec m = spec(ModelId::kOpt30B);
+  const double ai_pre = m.layer_prefill_flops(32, 512) /
+                        m.layer_prefill_mops(32, 512, Bitwidth::kFp16);
+  const double ai_dec = m.layer_decode_flops(32, 512) /
+                        m.layer_decode_mops(32, 512, Bitwidth::kFp16, Bitwidth::kFp16);
+  EXPECT_GT(ai_pre, 1000.0);
+  EXPECT_LT(ai_dec, 100.0);
+}
+
+TEST(LlmSpec, PeakActivationGrowsWithBatchAndSeq) {
+  const LlmSpec m = spec(ModelId::kOpt13B);
+  EXPECT_GT(m.layer_peak_activation_bytes(8, 1024), m.layer_peak_activation_bytes(8, 512));
+  EXPECT_GT(m.layer_peak_activation_bytes(16, 512), m.layer_peak_activation_bytes(8, 512));
+}
+
+TEST(Phase, Names) {
+  EXPECT_STREQ(to_string(Phase::kPrefill), "prefill");
+  EXPECT_STREQ(to_string(Phase::kDecode), "decode");
+}
+
+}  // namespace
+}  // namespace sq::model

@@ -1,0 +1,165 @@
+// Tests for the two-phase simplex LP solver.
+#include <gtest/gtest.h>
+
+#include "solver/lp.h"
+
+namespace sq::solver {
+namespace {
+
+TEST(Simplex, SimpleBoundedMinimum) {
+  // min -x - 2y s.t. x + y <= 4, x <= 3, y <= 2  ->  (2, 2), obj -6.
+  LpProblem p;
+  const int x = p.add_variable(-1.0, "x");
+  const int y = p.add_variable(-2.0, "y");
+  p.add_constraint({{{x, 1.0}, {y, 1.0}}, Sense::kLe, 4.0, ""});
+  p.add_constraint({{{x, 1.0}}, Sense::kLe, 3.0, ""});
+  p.add_constraint({{{y, 1.0}}, Sense::kLe, 2.0, ""});
+  const LpSolution s = SimplexSolver().solve(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -6.0, 1e-9);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(x)], 2.0, 1e-9);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(y)], 2.0, 1e-9);
+}
+
+TEST(Simplex, EqualityConstraintsViaPhase1) {
+  // min x + y s.t. x + y = 5, x - y = 1  ->  (3, 2), obj 5.
+  LpProblem p;
+  const int x = p.add_variable(1.0);
+  const int y = p.add_variable(1.0);
+  p.add_constraint({{{x, 1.0}, {y, 1.0}}, Sense::kEq, 5.0, ""});
+  p.add_constraint({{{x, 1.0}, {y, -1.0}}, Sense::kEq, 1.0, ""});
+  const LpSolution s = SimplexSolver().solve(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 3.0, 1e-8);
+  EXPECT_NEAR(s.x[1], 2.0, 1e-8);
+}
+
+TEST(Simplex, GreaterEqualConstraints) {
+  // min 2x + 3y s.t. x + y >= 4, x >= 1  ->  (4, 0), obj 8.
+  LpProblem p;
+  const int x = p.add_variable(2.0);
+  const int y = p.add_variable(3.0);
+  p.add_constraint({{{x, 1.0}, {y, 1.0}}, Sense::kGe, 4.0, ""});
+  p.add_constraint({{{x, 1.0}}, Sense::kGe, 1.0, ""});
+  const LpSolution s = SimplexSolver().solve(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 8.0, 1e-8);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  LpProblem p;
+  const int x = p.add_variable(1.0);
+  p.add_constraint({{{x, 1.0}}, Sense::kLe, 1.0, ""});
+  p.add_constraint({{{x, 1.0}}, Sense::kGe, 2.0, ""});
+  EXPECT_EQ(SimplexSolver().solve(p).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  LpProblem p;
+  const int x = p.add_variable(-1.0);  // minimize -x, x free upward
+  p.add_constraint({{{x, 1.0}}, Sense::kGe, 0.0, ""});
+  EXPECT_EQ(SimplexSolver().solve(p).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // min x s.t. -x <= -3 (i.e. x >= 3).
+  LpProblem p;
+  const int x = p.add_variable(1.0);
+  p.add_constraint({{{x, -1.0}}, Sense::kLe, -3.0, ""});
+  const LpSolution s = SimplexSolver().solve(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 3.0, 1e-9);
+}
+
+TEST(Simplex, FixedVariableSubstitution) {
+  // min x + y s.t. x + y >= 4 with y fixed at 3  ->  x = 1.
+  LpProblem p;
+  const int x = p.add_variable(1.0);
+  const int y = p.add_variable(1.0);
+  p.add_constraint({{{x, 1.0}, {y, 1.0}}, Sense::kGe, 4.0, ""});
+  const std::vector<std::uint8_t> mask = {0, 1};
+  const std::vector<double> vals = {0.0, 3.0};
+  const LpSolution s = SimplexSolver().solve(p, mask, vals);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 3.0, 1e-9);
+  EXPECT_NEAR(s.objective, 4.0, 1e-9);
+}
+
+TEST(Simplex, FixingCanCauseInfeasibility) {
+  LpProblem p;
+  const int x = p.add_variable(1.0);
+  const int y = p.add_variable(1.0);
+  p.add_constraint({{{x, 1.0}, {y, 1.0}}, Sense::kLe, 2.0, ""});
+  p.add_constraint({{{x, 1.0}}, Sense::kGe, 1.0, ""});
+  const std::vector<std::uint8_t> mask = {0, 1};
+  const std::vector<double> vals = {0.0, 5.0};  // y = 5 breaks x + y <= 2
+  EXPECT_EQ(SimplexSolver().solve(p, mask, vals).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Classic degeneracy: multiple constraints active at the optimum.
+  LpProblem p;
+  const int x = p.add_variable(-1.0);
+  const int y = p.add_variable(-1.0);
+  p.add_constraint({{{x, 1.0}}, Sense::kLe, 1.0, ""});
+  p.add_constraint({{{y, 1.0}}, Sense::kLe, 1.0, ""});
+  p.add_constraint({{{x, 1.0}, {y, 1.0}}, Sense::kLe, 2.0, ""});
+  p.add_constraint({{{x, 1.0}, {y, 1.0}}, Sense::kLe, 2.0, ""});  // duplicate
+  const LpSolution s = SimplexSolver().solve(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -2.0, 1e-9);
+}
+
+TEST(Simplex, LargerAssignmentLikeLp) {
+  // 20 items, 4 slots, assignment equalities + capacity rows — the shape
+  // the assigner generates.  LP relaxation objective must equal the known
+  // greedy bound (costs are separable).
+  LpProblem p;
+  std::vector<std::vector<int>> z(20, std::vector<int>(4));
+  for (int i = 0; i < 20; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      z[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          p.add_variable(1.0 + 0.1 * j + 0.01 * i);
+    }
+  }
+  for (int i = 0; i < 20; ++i) {
+    Constraint c;
+    c.sense = Sense::kEq;
+    c.rhs = 1.0;
+    for (int j = 0; j < 4; ++j) {
+      c.terms.push_back({z[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)], 1.0});
+    }
+    p.add_constraint(std::move(c));
+  }
+  for (int j = 0; j < 4; ++j) {
+    Constraint c;
+    c.sense = Sense::kLe;
+    c.rhs = 5.0;  // exactly 20 / 4
+    for (int i = 0; i < 20; ++i) {
+      c.terms.push_back({z[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)], 1.0});
+    }
+    p.add_constraint(std::move(c));
+  }
+  const LpSolution s = SimplexSolver().solve(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  // Slot costs differ by 0.1 per slot; every slot must take 5 items.
+  // Objective = sum_i 1 + 0.01*i  +  5 * (0 + .1 + .2 + .3).
+  double expected = 0.0;
+  for (int i = 0; i < 20; ++i) expected += 1.0 + 0.01 * i;
+  expected += 5.0 * (0.1 + 0.2 + 0.3);
+  EXPECT_NEAR(s.objective, expected, 1e-6);
+  EXPECT_LE(p.max_violation(s.x), 1e-7);
+}
+
+TEST(LpProblem, ViolationMetric) {
+  LpProblem p;
+  const int x = p.add_variable(0.0);
+  p.add_constraint({{{x, 1.0}}, Sense::kLe, 1.0, ""});
+  EXPECT_EQ(p.max_violation({0.5}), 0.0);
+  EXPECT_NEAR(p.max_violation({2.0}), 1.0, 1e-12);
+  EXPECT_NEAR(p.max_violation({-0.25}), 0.25, 1e-12);  // nonnegativity
+}
+
+}  // namespace
+}  // namespace sq::solver

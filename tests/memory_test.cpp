@@ -1,0 +1,109 @@
+// Tests for the "real engine" memory accounting (paged KV, embeddings on
+// the master, OOM detection).
+#include <gtest/gtest.h>
+
+#include "hw/paper_clusters.h"
+#include "model/registry.h"
+#include "sim/memory.h"
+
+namespace sq::sim {
+namespace {
+
+using sq::hw::Bitwidth;
+
+ExecutionPlan even_plan(const sq::model::LlmSpec& m, int stages, Bitwidth b) {
+  ExecutionPlan p;
+  const int per = m.n_layers / stages;
+  for (int s = 0; s < stages; ++s) {
+    p.stages.push_back(
+        {{s}, s * per, s + 1 == stages ? m.n_layers : (s + 1) * per});
+  }
+  p.layer_bits.assign(static_cast<std::size_t>(m.n_layers), b);
+  return p;
+}
+
+TEST(PlanMemory, AccountsAllComponents) {
+  const auto m = sq::model::spec(sq::model::ModelId::kOpt30B);
+  const auto c = sq::hw::paper_cluster(9);  // 4x V100
+  const auto p = even_plan(m, 4, Bitwidth::kInt8);
+  BatchWorkload w{8, 512, 64, 2048};
+  const MemoryReport r = plan_memory(c, m, p, w);
+  ASSERT_EQ(r.devices.size(), 4u);
+  for (const auto& d : r.devices) {
+    EXPECT_GT(d.weights, 0u);
+    EXPECT_GT(d.kv_cache, 0u);
+    EXPECT_GT(d.activations, 0u);
+  }
+  // Only the master holds embeddings.
+  EXPECT_GT(r.devices[0].embeddings, 0u);
+  EXPECT_EQ(r.devices[1].embeddings, 0u);
+  EXPECT_FALSE(r.oom);
+}
+
+TEST(PlanMemory, WeightBytesMatchBitwidth) {
+  const auto m = sq::model::spec(sq::model::ModelId::kOpt30B);
+  const auto c = sq::hw::paper_cluster(9);
+  BatchWorkload w{4, 256, 32, 2048};
+  const auto r16 = plan_memory(c, m, even_plan(m, 4, Bitwidth::kFp16), w);
+  const auto r4 = plan_memory(c, m, even_plan(m, 4, Bitwidth::kInt4), w);
+  EXPECT_NEAR(static_cast<double>(r4.devices[1].weights) /
+                  static_cast<double>(r16.devices[1].weights),
+              0.25, 0.01);
+}
+
+TEST(PlanMemory, KvRoundsUpToPagedBlocks) {
+  const auto m = sq::model::spec(sq::model::ModelId::kOpt13B);
+  const auto c = sq::hw::paper_cluster(9);
+  const auto p = even_plan(m, 4, Bitwidth::kInt8);
+  BatchWorkload a{8, 100, 1, 2048};  // ctx 101 -> 7 blocks of 16 = 112 tokens
+  const auto ra = plan_memory(c, m, p, a);
+  const std::uint64_t expected =
+      8 * m.layer_kv_bytes(112, Bitwidth::kFp16) * 10;  // 10 layers per stage
+  EXPECT_EQ(ra.devices[0].kv_cache, expected);
+}
+
+TEST(PlanMemory, DetectsOom) {
+  // OPT-66B at FP16 on a single V100 is far beyond 32 GB.
+  const auto m = sq::model::spec(sq::model::ModelId::kOpt66B);
+  const auto c = sq::hw::paper_cluster(1);
+  const auto p = even_plan(m, 1, Bitwidth::kFp16);
+  BatchWorkload w{8, 512, 64, 2048};
+  const MemoryReport r = plan_memory(c, m, p, w);
+  EXPECT_TRUE(r.oom);
+  EXPECT_EQ(r.oom_device, 0);
+}
+
+TEST(PlanMemory, TpSplitsWeightsAcrossDevices) {
+  const auto m = sq::model::spec(sq::model::ModelId::kOpt30B);
+  const auto c = sq::hw::paper_cluster(9);
+  ExecutionPlan p;
+  p.stages.push_back({{0, 1, 2, 3}, 0, m.n_layers});
+  p.layer_bits.assign(static_cast<std::size_t>(m.n_layers), Bitwidth::kFp16);
+  BatchWorkload w{8, 512, 64, 2048};
+  const MemoryReport r = plan_memory(c, m, p, w);
+  ASSERT_EQ(r.devices.size(), 4u);
+  const auto single = even_plan(m, 1, Bitwidth::kFp16);
+  // Per-device share is a quarter of the single-device weight load.
+  ExecutionPlan one;
+  one.stages.push_back({{0}, 0, m.n_layers});
+  one.layer_bits = p.layer_bits;
+  const auto r1 = plan_memory(c, m, one, w);
+  EXPECT_NEAR(static_cast<double>(r.devices[0].weights),
+              static_cast<double>(r1.devices[0].weights) / 4.0,
+              static_cast<double>(r1.devices[0].weights) * 0.01);
+}
+
+TEST(PlanMemory, KvGrowsWithBatchAndContext) {
+  const auto m = sq::model::spec(sq::model::ModelId::kOpt13B);
+  const auto c = sq::hw::paper_cluster(9);
+  const auto p = even_plan(m, 4, Bitwidth::kInt8);
+  const auto kv_at = [&](std::uint64_t b, std::uint64_t s) {
+    BatchWorkload w{b, s, 32, 2048};
+    return plan_memory(c, m, p, w).devices[0].kv_cache;
+  };
+  EXPECT_GT(kv_at(16, 512), kv_at(8, 512));
+  EXPECT_GT(kv_at(8, 1024), kv_at(8, 512));
+}
+
+}  // namespace
+}  // namespace sq::sim

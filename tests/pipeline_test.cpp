@@ -1,0 +1,156 @@
+// Tests for the discrete-event pipeline simulator: schedule invariants,
+// micro-batching effects, straggler behaviour, OOM propagation.
+#include <gtest/gtest.h>
+
+#include "hw/paper_clusters.h"
+#include "model/registry.h"
+#include "sim/pipeline.h"
+
+namespace sq::sim {
+namespace {
+
+using sq::hw::Bitwidth;
+
+ExecutionPlan even_plan(const sq::model::LlmSpec& m, int stages, Bitwidth b,
+                        std::uint64_t eta, std::uint64_t xi) {
+  ExecutionPlan p;
+  const int per = m.n_layers / stages;
+  for (int s = 0; s < stages; ++s) {
+    p.stages.push_back({{s}, s * per, s + 1 == stages ? m.n_layers : (s + 1) * per});
+  }
+  p.layer_bits.assign(static_cast<std::size_t>(m.n_layers), b);
+  p.prefill_microbatch = eta;
+  p.decode_microbatch = xi;
+  return p;
+}
+
+class PipelineFixture : public ::testing::Test {
+ protected:
+  PipelineFixture()
+      : m_(sq::model::spec(sq::model::ModelId::kOpt13B)),
+        c_(sq::hw::paper_cluster(9)) {}
+  sq::model::LlmSpec m_;
+  sq::hw::Cluster c_;
+};
+
+TEST_F(PipelineFixture, BasicInvariants) {
+  const auto p = even_plan(m_, 4, Bitwidth::kInt8, 4, 8);
+  BatchWorkload w{16, 512, 32, 2048};
+  const SimResult r = simulate_batch(c_, m_, p, w);
+  EXPECT_FALSE(r.oom);
+  EXPECT_GT(r.prefill_us, 0.0);
+  EXPECT_GT(r.decode_us, 0.0);
+  EXPECT_NEAR(r.total_us, r.prefill_us + r.decode_us, 1.0);
+  EXPECT_GT(r.throughput_tok_s, 0.0);
+  EXPECT_GE(r.bubble_fraction, 0.0);
+  EXPECT_LE(r.bubble_fraction, 1.0);
+  ASSERT_EQ(r.stage_prefill_us.size(), 4u);
+  ASSERT_EQ(r.stage_decode_us.size(), 4u);
+}
+
+TEST_F(PipelineFixture, ThroughputMatchesTokensOverTime) {
+  const auto p = even_plan(m_, 4, Bitwidth::kInt8, 4, 8);
+  BatchWorkload w{16, 512, 32, 2048};
+  const SimResult r = simulate_batch(c_, m_, p, w);
+  EXPECT_NEAR(r.throughput_tok_s, 16.0 * 32.0 / (r.total_us * 1e-6), 1e-6);
+}
+
+TEST_F(PipelineFixture, OomShortCircuits) {
+  const auto big = sq::model::spec(sq::model::ModelId::kOpt66B);
+  const auto p = even_plan(big, 4, Bitwidth::kFp16, 4, 8);
+  BatchWorkload w{64, 1024, 64, 2048};
+  const SimResult r = simulate_batch(c_, big, p, w);
+  EXPECT_TRUE(r.oom);
+  EXPECT_GE(r.oom_device, 0);
+  EXPECT_EQ(r.throughput_tok_s, 0.0);
+}
+
+TEST_F(PipelineFixture, MicrobatchingPipelinesPrefill) {
+  // With more micro-batches the pipeline overlaps stage work: total time
+  // should drop versus one giant micro-batch (bubbles permitting).
+  BatchWorkload w{32, 1024, 8, 2048};
+  const auto serial = even_plan(m_, 4, Bitwidth::kInt8, 32, 32);
+  const auto piped = even_plan(m_, 4, Bitwidth::kInt8, 4, 32);
+  const double t_serial = simulate_batch(c_, m_, serial, w).prefill_us;
+  const double t_piped = simulate_batch(c_, m_, piped, w).prefill_us;
+  EXPECT_LT(t_piped, t_serial);
+}
+
+TEST_F(PipelineFixture, StragglerDominatesPipeline) {
+  // Heterogeneous cluster: putting most layers on the P100s slows the
+  // whole pipeline versus loading the V100.
+  const auto het = sq::hw::paper_cluster(6);  // 3x P100 + 1x V100
+  const auto m = sq::model::spec(sq::model::ModelId::kOpt13B);
+  BatchWorkload w{8, 512, 16, 2048};
+
+  ExecutionPlan p100_heavy;
+  p100_heavy.stages.push_back({{0}, 0, 12});
+  p100_heavy.stages.push_back({{1}, 12, 24});
+  p100_heavy.stages.push_back({{2}, 24, 36});
+  p100_heavy.stages.push_back({{3}, 36, 40});  // V100 nearly idle
+  p100_heavy.layer_bits.assign(40, Bitwidth::kInt4);
+  p100_heavy.prefill_microbatch = 4;
+  p100_heavy.decode_microbatch = 8;
+
+  ExecutionPlan v100_heavy = p100_heavy;
+  v100_heavy.stages[0].layer_end = 4;
+  v100_heavy.stages[1] = {{1}, 4, 8};
+  v100_heavy.stages[2] = {{2}, 8, 12};
+  v100_heavy.stages[3] = {{3}, 12, 40};  // V100 takes the bulk
+
+  const double t_bad = simulate_batch(het, m, p100_heavy, w).total_us;
+  const double t_good = simulate_batch(het, m, v100_heavy, w).total_us;
+  EXPECT_LT(t_good, t_bad * 0.6);
+}
+
+TEST_F(PipelineFixture, QuantizedWeightsSpeedUpDecodeHeavyWorkloads) {
+  BatchWorkload w{8, 128, 128, 2048};  // decode-dominated
+  const auto fp16 = even_plan(m_, 4, Bitwidth::kFp16, 4, 8);
+  const auto int4 = even_plan(m_, 4, Bitwidth::kInt4, 4, 8);
+  const double t16 = simulate_batch(c_, m_, fp16, w).decode_us;
+  const double t4 = simulate_batch(c_, m_, int4, w).decode_us;
+  EXPECT_LT(t4, t16);
+}
+
+TEST_F(PipelineFixture, SlowInterconnectHurts) {
+  // Same devices, slower Ethernet between stages (cluster 6 link is 100G).
+  const auto fast = sq::hw::paper_cluster(5);  // T4s + V100, 800G
+  const auto m = sq::model::spec(sq::model::ModelId::kOpt13B);
+  ExecutionPlan p;
+  p.stages.push_back({{0}, 0, 20});
+  p.stages.push_back({{3}, 20, 40});  // crosses T4-node -> V100-node link
+  p.layer_bits.assign(40, Bitwidth::kInt8);
+  p.prefill_microbatch = 2;
+  p.decode_microbatch = 8;
+  BatchWorkload w{16, 1024, 16, 2048};
+  const double t800 = simulate_batch(fast, m, p, w).total_us;
+
+  // Rebuild cluster 5 with 100 Gbit Ethernet.
+  auto nodes = fast.nodes();
+  const sq::hw::Cluster slow("slow", {nodes[0], nodes[1]}, 100.0);
+  const double t100 = simulate_batch(slow, m, p, w).total_us;
+  EXPECT_GT(t100, t800);
+}
+
+TEST_F(PipelineFixture, StageHelpersMatchPlanBits) {
+  const auto p = even_plan(m_, 4, Bitwidth::kInt8, 4, 8);
+  BatchWorkload w{16, 512, 32, 2048};
+  const KernelModel km;
+  const double t0 = stage_prefill_time_us(c_, m_, p, 0, 4, w, km);
+  EXPECT_GT(t0, 0.0);
+  const double d0 = stage_decode_time_us(c_, m_, p, 0, 8, 512, km);
+  EXPECT_GT(d0, 0.0);
+  // Custom-backend discount inflates both.
+  EXPECT_GT(stage_prefill_time_us(c_, m_, p, 0, 4, w, km, 0.7), t0);
+}
+
+TEST_F(PipelineFixture, DeterministicAcrossRuns) {
+  const auto p = even_plan(m_, 4, Bitwidth::kInt8, 4, 8);
+  BatchWorkload w{16, 512, 32, 2048};
+  const SimResult a = simulate_batch(c_, m_, p, w);
+  const SimResult b = simulate_batch(c_, m_, p, w);
+  EXPECT_EQ(a.total_us, b.total_us);
+}
+
+}  // namespace
+}  // namespace sq::sim

@@ -1,0 +1,106 @@
+// Tests for plan serialization.
+#include <gtest/gtest.h>
+
+#include "hw/paper_clusters.h"
+#include "model/registry.h"
+#include "sim/plan_io.h"
+
+namespace sq::sim {
+namespace {
+
+using sq::hw::Bitwidth;
+
+ExecutionPlan sample_plan() {
+  ExecutionPlan p;
+  p.scheme = "splitquant";
+  p.kv_bits = Bitwidth::kInt8;
+  p.prefill_microbatch = 4;
+  p.decode_microbatch = 32;
+  p.stages.push_back({{0, 1}, 0, 20});
+  p.stages.push_back({{2}, 20, 48});
+  p.layer_bits.assign(48, Bitwidth::kInt4);
+  for (int l = 20; l < 48; ++l) p.layer_bits[static_cast<std::size_t>(l)] = Bitwidth::kFp16;
+  p.layer_bits[0] = Bitwidth::kInt3;
+  p.layer_bits[1] = Bitwidth::kInt8;
+  return p;
+}
+
+TEST(PlanIo, RoundTripPreservesEverything) {
+  const ExecutionPlan p = sample_plan();
+  const LoadResult r = plan_from_string(plan_to_string(p));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.plan.scheme, p.scheme);
+  EXPECT_EQ(r.plan.kv_bits, p.kv_bits);
+  EXPECT_EQ(r.plan.prefill_microbatch, p.prefill_microbatch);
+  EXPECT_EQ(r.plan.decode_microbatch, p.decode_microbatch);
+  EXPECT_EQ(r.plan.layer_bits, p.layer_bits);
+  ASSERT_EQ(r.plan.stages.size(), p.stages.size());
+  for (std::size_t i = 0; i < p.stages.size(); ++i) {
+    EXPECT_EQ(r.plan.stages[i].devices, p.stages[i].devices);
+    EXPECT_EQ(r.plan.stages[i].layer_begin, p.stages[i].layer_begin);
+    EXPECT_EQ(r.plan.stages[i].layer_end, p.stages[i].layer_end);
+  }
+}
+
+TEST(PlanIo, RoundTrippedPlanStillValidates) {
+  const auto m = sq::model::spec(sq::model::ModelId::kOpt30B);
+  const auto c = sq::hw::paper_cluster(5);
+  const LoadResult r = plan_from_string(plan_to_string(sample_plan()));
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.plan.validate(m, c), "");
+}
+
+TEST(PlanIo, TextIsHumanReadable) {
+  const std::string text = plan_to_string(sample_plan());
+  EXPECT_NE(text.find("splitquant-plan v1"), std::string::npos);
+  EXPECT_NE(text.find("eta 4"), std::string::npos);
+  EXPECT_NE(text.find("stage 0 1 | 0 20"), std::string::npos);
+}
+
+TEST(PlanIo, CommentsAndBlankLinesIgnored) {
+  std::string text = plan_to_string(sample_plan());
+  text.insert(text.find('\n') + 1, "# a comment\n\n");
+  const LoadResult r = plan_from_string(text);
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(PlanIo, RejectsBadHeader) {
+  const LoadResult r = plan_from_string("not-a-plan v9\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("header"), std::string::npos);
+}
+
+TEST(PlanIo, RejectsBadBitwidth) {
+  const LoadResult r = plan_from_string(
+      "splitquant-plan v1\nlayer_bits 16 5\nstage 0 | 0 2\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("bitwidth"), std::string::npos);
+}
+
+TEST(PlanIo, RejectsMalformedStage) {
+  const LoadResult r = plan_from_string(
+      "splitquant-plan v1\nlayer_bits 16 16\nstage 0 0 2\n");  // missing '|'
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("stage"), std::string::npos);
+}
+
+TEST(PlanIo, RejectsZeroMicrobatch) {
+  const LoadResult r = plan_from_string(
+      "splitquant-plan v1\neta 0\nlayer_bits 16\nstage 0 | 0 1\n");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(PlanIo, RejectsMissingSections) {
+  EXPECT_FALSE(plan_from_string("splitquant-plan v1\nstage 0 | 0 1\n").ok);
+  EXPECT_FALSE(plan_from_string("splitquant-plan v1\nlayer_bits 16\n").ok);
+}
+
+TEST(PlanIo, RejectsUnknownKey) {
+  const LoadResult r = plan_from_string(
+      "splitquant-plan v1\nbogus 1\nlayer_bits 16\nstage 0 | 0 1\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unknown key"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sq::sim

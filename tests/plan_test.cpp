@@ -1,0 +1,117 @@
+// Tests for ExecutionPlan validation and BatchWorkload chunking.
+#include <gtest/gtest.h>
+
+#include "hw/paper_clusters.h"
+#include "model/registry.h"
+#include "sim/plan.h"
+
+namespace sq::sim {
+namespace {
+
+using sq::hw::Bitwidth;
+
+ExecutionPlan simple_plan(int layers, int split) {
+  ExecutionPlan p;
+  p.stages.push_back({{0}, 0, split});
+  p.stages.push_back({{1}, split, layers});
+  p.layer_bits.assign(static_cast<std::size_t>(layers), Bitwidth::kFp16);
+  return p;
+}
+
+TEST(ExecutionPlan, ValidPlanPasses) {
+  const auto m = sq::model::spec(sq::model::ModelId::kQwen25_14B);
+  const auto c = sq::hw::paper_cluster(3);
+  const auto p = simple_plan(m.n_layers, 20);
+  EXPECT_EQ(p.validate(m, c), "");
+  EXPECT_EQ(p.covered_layers(), m.n_layers);
+}
+
+TEST(ExecutionPlan, DetectsGapsAndOverlaps) {
+  const auto m = sq::model::spec(sq::model::ModelId::kQwen25_14B);
+  const auto c = sq::hw::paper_cluster(3);
+  ExecutionPlan p = simple_plan(m.n_layers, 20);
+  p.stages[1].layer_begin = 22;  // gap
+  EXPECT_NE(p.validate(m, c), "");
+  p.stages[1].layer_begin = 18;  // overlap
+  EXPECT_NE(p.validate(m, c), "");
+}
+
+TEST(ExecutionPlan, DetectsPartialCoverage) {
+  const auto m = sq::model::spec(sq::model::ModelId::kQwen25_14B);
+  const auto c = sq::hw::paper_cluster(3);
+  ExecutionPlan p = simple_plan(m.n_layers, 20);
+  p.stages[1].layer_end = m.n_layers - 1;
+  EXPECT_NE(p.validate(m, c), "");
+}
+
+TEST(ExecutionPlan, DetectsDeviceReuse) {
+  const auto m = sq::model::spec(sq::model::ModelId::kQwen25_14B);
+  const auto c = sq::hw::paper_cluster(3);
+  ExecutionPlan p = simple_plan(m.n_layers, 20);
+  p.stages[1].devices = {0};  // same device twice
+  EXPECT_NE(p.validate(m, c), "");
+}
+
+TEST(ExecutionPlan, DetectsInvalidDevice) {
+  const auto m = sq::model::spec(sq::model::ModelId::kQwen25_14B);
+  const auto c = sq::hw::paper_cluster(3);
+  ExecutionPlan p = simple_plan(m.n_layers, 20);
+  p.stages[1].devices = {7};
+  EXPECT_NE(p.validate(m, c), "");
+}
+
+TEST(ExecutionPlan, DetectsCrossNodeTpGroup) {
+  const auto m = sq::model::spec(sq::model::ModelId::kQwen25_14B);
+  const auto c = sq::hw::paper_cluster(3);  // V100 node + A100 node
+  ExecutionPlan p;
+  p.stages.push_back({{0, 1}, 0, m.n_layers});  // devices on different nodes
+  p.layer_bits.assign(static_cast<std::size_t>(m.n_layers), Bitwidth::kFp16);
+  EXPECT_NE(p.validate(m, c), "");
+}
+
+TEST(ExecutionPlan, DetectsBadMicrobatch) {
+  const auto m = sq::model::spec(sq::model::ModelId::kQwen25_14B);
+  const auto c = sq::hw::paper_cluster(3);
+  ExecutionPlan p = simple_plan(m.n_layers, 20);
+  p.prefill_microbatch = 0;
+  EXPECT_NE(p.validate(m, c), "");
+}
+
+TEST(ExecutionPlan, SummaryMentionsDevicesAndBits) {
+  const auto c = sq::hw::paper_cluster(3);
+  ExecutionPlan p = simple_plan(48, 20);
+  for (int l = 0; l < 10; ++l) p.layer_bits[static_cast<std::size_t>(l)] = Bitwidth::kInt4;
+  const std::string s = p.summary(c);
+  EXPECT_NE(s.find("V100"), std::string::npos);
+  EXPECT_NE(s.find("A100"), std::string::npos);
+  EXPECT_NE(s.find("int4"), std::string::npos);
+  EXPECT_NE(s.find("fp16"), std::string::npos);
+}
+
+TEST(BatchWorkload, ChunkMath) {
+  BatchWorkload w;
+  w.prompt_len = 5000;
+  w.chunk_tokens = 2048;
+  EXPECT_EQ(w.chunks(), 3u);
+  EXPECT_EQ(w.chunk_len(), 1667u);  // ceil(5000/3)
+  w.prompt_len = 512;
+  EXPECT_EQ(w.chunks(), 1u);
+  EXPECT_EQ(w.chunk_len(), 512u);
+}
+
+TEST(BatchWorkload, ZeroChunkMeansUnchunked) {
+  BatchWorkload w;
+  w.prompt_len = 9999;
+  w.chunk_tokens = 0;
+  EXPECT_EQ(w.chunks(), 1u);
+}
+
+TEST(BatchWorkload, MaxContext) {
+  BatchWorkload w;
+  w.prompt_len = 1000;
+  w.gen_tokens = 200;
+  EXPECT_EQ(w.max_context(), 1200u);
+}
+
+}  // namespace
+}  // namespace sq::sim

@@ -1,0 +1,122 @@
+// Tests for the measured quality probes: the Fig. 4 / Table I shapes must
+// hold on real forward passes.
+#include <gtest/gtest.h>
+
+#include "nn/probe.h"
+
+namespace sq::nn {
+namespace {
+
+TinyConfig probe_config() {
+  // Large enough for stable orderings: the 4-layer/48-dim scale is too
+  // noisy for monotonicity assertions.
+  TinyConfig cfg;
+  cfg.n_layers = 6;
+  cfg.d_model = 96;
+  cfg.d_ffn = 256;
+  cfg.n_heads = 6;
+  cfg.vocab = 256;
+  cfg.max_seq = 32;
+  cfg.seed = 9;
+  return cfg;
+}
+
+class ProbeFixture : public ::testing::Test {
+ protected:
+  ProbeFixture() : model_(probe_config()),
+                   seqs_(sample_sequences(probe_config(), 5, 28, 11)) {}
+  TinyTransformer model_;
+  std::vector<std::vector<int>> seqs_;
+};
+
+TEST_F(ProbeFixture, Fp16IsTheQualityFloor) {
+  const auto fp16 = evaluate_quality(model_, uniform_config(6, Bitwidth::kFp16), seqs_);
+  const auto int4 = evaluate_quality(model_, uniform_config(6, Bitwidth::kInt4), seqs_);
+  EXPECT_LT(fp16.ppl_proxy, int4.ppl_proxy);
+  EXPECT_GT(fp16.accuracy, 0.99);
+  EXPECT_LT(fp16.mean_kl, 1e-4);
+}
+
+TEST_F(ProbeFixture, QualityDegradesMonotonically) {
+  double prev_ppl = 0.0;
+  double prev_acc = 1.1;
+  for (const Bitwidth b : {Bitwidth::kFp16, Bitwidth::kInt8, Bitwidth::kInt4,
+                           Bitwidth::kInt3}) {
+    const auto r = evaluate_quality(model_, uniform_config(6, b), seqs_);
+    EXPECT_GT(r.ppl_proxy, prev_ppl) << to_string(b);
+    EXPECT_LE(r.accuracy, prev_acc + 1e-9) << to_string(b);
+    prev_ppl = r.ppl_proxy;
+    prev_acc = r.accuracy;
+  }
+}
+
+TEST_F(ProbeFixture, MixedFourEightBeatsUniformFour) {
+  // The Fig. 4 claim: mixed 4/8 preserves quality better than uniform 4.
+  const Bitwidth mix48[] = {Bitwidth::kInt4, Bitwidth::kInt8};
+  const auto mixed = evaluate_quality(model_, mixed_config(6, mix48, 5), seqs_);
+  const auto uni4 = evaluate_quality(model_, uniform_config(6, Bitwidth::kInt4), seqs_);
+  EXPECT_LT(mixed.ppl_proxy, uni4.ppl_proxy);
+}
+
+TEST_F(ProbeFixture, TableIEarlyLayersCheaperToQuantize) {
+  // Quantizing the first half hurts less than the last half.
+  const auto early =
+      evaluate_quality(model_, range_config(6, 0, 2, Bitwidth::kInt3), seqs_);
+  const auto late =
+      evaluate_quality(model_, range_config(6, 4, 6, Bitwidth::kInt3), seqs_);
+  EXPECT_LT(early.mean_kl, late.mean_kl);
+}
+
+TEST(Probe, SampleSequencesRespectShape) {
+  const TinyConfig cfg = probe_config();
+  const auto seqs = sample_sequences(cfg, 5, 12, 7);
+  ASSERT_EQ(seqs.size(), 5u);
+  for (const auto& s : seqs) {
+    EXPECT_EQ(s.size(), 12u);
+    for (const int t : s) {
+      EXPECT_GE(t, 0);
+      EXPECT_LT(t, static_cast<int>(cfg.vocab));
+    }
+  }
+}
+
+TEST(Probe, SequencesAreZipfSkewed) {
+  const TinyConfig cfg = probe_config();
+  const auto seqs = sample_sequences(cfg, 50, 24, 9);
+  int low = 0, total = 0;
+  for (const auto& s : seqs) {
+    for (const int t : s) {
+      low += t < 8;
+      ++total;
+    }
+  }
+  // Top-8 tokens should dominate a Zipf-ish stream.
+  EXPECT_GT(static_cast<double>(low) / total, 0.4);
+}
+
+TEST(Probe, ConfigBuilders) {
+  const auto uni = uniform_config(3, Bitwidth::kInt8);
+  EXPECT_EQ(uni.size(), 3u);
+  EXPECT_EQ(uni[1].bits, Bitwidth::kInt8);
+
+  const auto rng_cfg = range_config(5, 1, 3, Bitwidth::kInt4);
+  EXPECT_EQ(rng_cfg[0].bits, Bitwidth::kFp16);
+  EXPECT_EQ(rng_cfg[1].bits, Bitwidth::kInt4);
+  EXPECT_EQ(rng_cfg[2].bits, Bitwidth::kInt4);
+  EXPECT_EQ(rng_cfg[3].bits, Bitwidth::kFp16);
+
+  const Bitwidth per_layer[] = {Bitwidth::kInt3, Bitwidth::kFp16};
+  const auto explicit_cfg = config_from_bits(per_layer);
+  EXPECT_EQ(explicit_cfg[0].bits, Bitwidth::kInt3);
+  EXPECT_EQ(explicit_cfg[1].bits, Bitwidth::kFp16);
+}
+
+TEST(Probe, MixedConfigSeeded) {
+  const Bitwidth choices[] = {Bitwidth::kInt4, Bitwidth::kInt8};
+  const auto a = mixed_config(8, choices, 1);
+  const auto b = mixed_config(8, choices, 1);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(a[i].bits, b[i].bits);
+}
+
+}  // namespace
+}  // namespace sq::nn

@@ -1,0 +1,85 @@
+// Tests for workload profiling and batch synthesis.
+#include <gtest/gtest.h>
+
+#include "model/registry.h"
+#include "workload/profile.h"
+
+namespace sq::workload {
+namespace {
+
+TEST(Profile, StatisticsFromRequests) {
+  std::vector<Request> reqs;
+  for (std::uint64_t i = 1; i <= 100; ++i) reqs.push_back({i * 10, 50});
+  const Profile p = make_profile(reqs, 64, 1024);
+  EXPECT_NEAR(p.mean_prompt, 505.0, 1.0);
+  EXPECT_NEAR(p.p50_prompt, 505.0, 10.0);
+  EXPECT_NEAR(p.p90_prompt, 901.0, 15.0);
+  EXPECT_EQ(p.max_prompt, 1000u);
+  EXPECT_NEAR(p.mean_output, 50.0, 1e-9);
+  EXPECT_EQ(p.batch_size, 64u);
+  EXPECT_EQ(p.chunk_tokens, 1024u);
+}
+
+TEST(Profile, PlanningBatchUsesP90AndClampsToModel) {
+  const auto m = sq::model::spec(sq::model::ModelId::kOpt30B);  // pos 2048
+  std::vector<Request> reqs;
+  for (int i = 0; i < 100; ++i) reqs.push_back({10000, 100});  // way over limit
+  const Profile p = make_profile(reqs, 32);
+  const auto w = p.planning_batch(m);
+  EXPECT_LE(w.prompt_len + w.gen_tokens, m.pos_s);
+  EXPECT_EQ(w.batch_size, 32u);
+  EXPECT_EQ(w.gen_tokens, 100u);
+}
+
+TEST(Profile, PlanningBatchTracksP90ForShortPrompts) {
+  const auto m = sq::model::spec(sq::model::ModelId::kQwen25_7B);  // pos 32768
+  std::vector<Request> reqs;
+  for (std::uint64_t i = 1; i <= 100; ++i) reqs.push_back({i * 10, 60});
+  const auto w = make_profile(reqs, 16).planning_batch(m);
+  EXPECT_NEAR(static_cast<double>(w.prompt_len), 901.0, 20.0);
+}
+
+TEST(MakeBatches, SortsByLengthAndPads) {
+  const auto m = sq::model::spec(sq::model::ModelId::kQwen25_7B);
+  std::vector<Request> reqs;
+  for (std::uint64_t i = 0; i < 8; ++i) reqs.push_back({100 + 1000 * (i % 2), 40});
+  const auto batches = make_batches(reqs, m, 4);
+  ASSERT_EQ(batches.size(), 2u);
+  // Sorted: first batch all-short, second all-long.
+  EXPECT_EQ(batches[0].prompt_len, 100u);
+  EXPECT_EQ(batches[1].prompt_len, 1100u);
+  EXPECT_EQ(batches[0].batch_size, 4u);
+}
+
+TEST(MakeBatches, ClampsToContextLimit) {
+  const auto m = sq::model::spec(sq::model::ModelId::kOpt13B);  // pos 2048
+  std::vector<Request> reqs = {{100000, 64}, {50000, 64}};
+  const auto batches = make_batches(reqs, m, 4);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_LE(batches[0].prompt_len + batches[0].gen_tokens, m.pos_s);
+}
+
+TEST(MakeBatches, RemainderBatchSmaller) {
+  const auto m = sq::model::spec(sq::model::ModelId::kQwen25_7B);
+  std::vector<Request> reqs(10, Request{500, 30});
+  const auto batches = make_batches(reqs, m, 4);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].batch_size, 4u);
+  EXPECT_EQ(batches[2].batch_size, 2u);
+}
+
+TEST(MakeBatches, OutputIsBatchMean) {
+  const auto m = sq::model::spec(sq::model::ModelId::kQwen25_7B);
+  std::vector<Request> reqs = {{500, 10}, {500, 30}};
+  const auto batches = make_batches(reqs, m, 4);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].gen_tokens, 20u);
+}
+
+TEST(MakeBatches, EmptyInputGivesNoBatches) {
+  const auto m = sq::model::spec(sq::model::ModelId::kQwen25_7B);
+  EXPECT_TRUE(make_batches({}, m, 4).empty());
+}
+
+}  // namespace
+}  // namespace sq::workload

@@ -1,0 +1,90 @@
+// Tests for the group-quantized tensor storage format.
+#include <gtest/gtest.h>
+
+#include "quant/qtensor.h"
+#include "tensor/ops.h"
+
+namespace sq::quant {
+namespace {
+
+using sq::hw::Bitwidth;
+using sq::tensor::Tensor;
+
+Tensor random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  sq::tensor::Rng rng(seed);
+  Tensor t(r, c);
+  t.fill_normal(rng, 0.0f, 0.05f);
+  return t;
+}
+
+TEST(QTensor, ShapePreserved) {
+  const Tensor w = random_matrix(16, 32, 1);
+  const QTensor q(w, Bitwidth::kInt4, Scheme::kSymmetric, Rounding::kDeterministic, 64);
+  EXPECT_EQ(q.rows(), 16u);
+  EXPECT_EQ(q.cols(), 32u);
+  EXPECT_EQ(q.dequantize().rows(), 16u);
+  EXPECT_EQ(q.dequantize().cols(), 32u);
+}
+
+TEST(QTensor, MseMatchesDequantizedError) {
+  const Tensor w = random_matrix(32, 64, 2);
+  const QTensor q(w, Bitwidth::kInt4, Scheme::kAsymmetric, Rounding::kDeterministic, 64);
+  const double reported = q.mse_vs_original();
+  const double recomputed = sq::tensor::mse(q.dequantize(), w);
+  EXPECT_NEAR(reported, recomputed, 1e-10);
+}
+
+TEST(QTensor, SmallerGroupsReduceError) {
+  // Finer groups track local ranges better: MSE(group=32) <= MSE(group=whole).
+  const Tensor w = random_matrix(64, 64, 3);
+  const QTensor fine(w, Bitwidth::kInt4, Scheme::kAsymmetric, Rounding::kDeterministic, 32);
+  const QTensor coarse(w, Bitwidth::kInt4, Scheme::kAsymmetric, Rounding::kDeterministic, 0);
+  EXPECT_LE(fine.mse_vs_original(), coarse.mse_vs_original());
+}
+
+TEST(QTensor, StorageScalesWithBitwidth) {
+  const Tensor w = random_matrix(64, 64, 4);
+  const auto bytes_at = [&](Bitwidth b) {
+    return QTensor(w, b, Scheme::kSymmetric, Rounding::kDeterministic, 128)
+        .storage_bytes();
+  };
+  const auto b16 = bytes_at(Bitwidth::kFp16);
+  const auto b8 = bytes_at(Bitwidth::kInt8);
+  const auto b4 = bytes_at(Bitwidth::kInt4);
+  const auto b3 = bytes_at(Bitwidth::kInt3);
+  EXPECT_GT(b16, b8);
+  EXPECT_GT(b8, b4);
+  EXPECT_GT(b4, b3);
+  // INT8 ~ half of FP16 (plus small scale overhead).
+  EXPECT_NEAR(static_cast<double>(b8) / static_cast<double>(b16), 0.5, 0.05);
+  // INT4 ~ quarter.
+  EXPECT_NEAR(static_cast<double>(b4) / static_cast<double>(b16), 0.25, 0.05);
+}
+
+TEST(QTensor, Fp16PassthroughIsNearLossless) {
+  const Tensor w = random_matrix(8, 8, 5);
+  const QTensor q(w, Bitwidth::kFp16, Scheme::kSymmetric, Rounding::kDeterministic);
+  EXPECT_LT(q.mse_vs_original(), 1e-9);
+}
+
+TEST(QTensor, ErrorMonotoneInBitwidth) {
+  const Tensor w = random_matrix(48, 48, 6);
+  double prev = 0.0;
+  for (const Bitwidth b : {Bitwidth::kInt8, Bitwidth::kInt4, Bitwidth::kInt3}) {
+    const QTensor q(w, b, Scheme::kSymmetric, Rounding::kDeterministic, 64);
+    EXPECT_GT(q.mse_vs_original(), prev);
+    prev = q.mse_vs_original();
+  }
+}
+
+TEST(QTensor, StochasticRoundingNeedsRngAndWorks) {
+  sq::tensor::Rng rng(9);
+  const Tensor w = random_matrix(16, 16, 7);
+  const QTensor q(w, Bitwidth::kInt4, Scheme::kAsymmetric, Rounding::kStochastic, 64,
+                  &rng);
+  EXPECT_GT(q.mse_vs_original(), 0.0);
+  EXPECT_LT(q.mse_vs_original(), 1e-3);
+}
+
+}  // namespace
+}  // namespace sq::quant

@@ -1,0 +1,93 @@
+// Tests for the analytic big-model quality estimator.
+#include <gtest/gtest.h>
+
+#include "model/registry.h"
+#include "quality/quality_model.h"
+
+namespace sq::quality {
+namespace {
+
+using sq::hw::Bitwidth;
+using sq::model::ModelId;
+
+constexpr Bitwidth kBits[] = {Bitwidth::kFp16, Bitwidth::kInt8, Bitwidth::kInt4,
+                              Bitwidth::kInt3};
+
+TEST(QualityModel, BasePplAnchorsMatchTableV) {
+  const QualityModel q30(sq::model::spec(ModelId::kOpt30B), kBits);
+  const QualityModel q66(sq::model::spec(ModelId::kOpt66B), kBits);
+  // Table V FP16-region values: OPT-30B ~10.7, OPT-66B ~10.3.
+  EXPECT_NEAR(q30.base_ppl(), 10.7, 0.4);
+  EXPECT_NEAR(q66.base_ppl(), 10.3, 0.4);
+  EXPECT_LT(q66.base_ppl(), q30.base_ppl());  // bigger is better
+}
+
+TEST(QualityModel, UniformInt4CostsCalibratedDelta) {
+  const auto m = sq::model::spec(ModelId::kOpt30B);
+  const QualityModel q(m, kBits);
+  std::vector<Bitwidth> bits(static_cast<std::size_t>(m.n_layers), Bitwidth::kInt4);
+  const auto e = q.estimate(bits);
+  EXPECT_NEAR(e.ppl_delta, 0.4, 1e-6);
+}
+
+TEST(QualityModel, Fig4PrecisionOrdering) {
+  // fp16 < int8 << int4 << int3 in degradation.
+  const auto m = sq::model::spec(ModelId::kBloom3B);
+  const QualityModel q(m, kBits);
+  auto delta_of = [&](Bitwidth b) {
+    std::vector<Bitwidth> bits(static_cast<std::size_t>(m.n_layers), b);
+    return q.estimate(bits).ppl_delta;
+  };
+  EXPECT_EQ(delta_of(Bitwidth::kFp16), 0.0);
+  EXPECT_LT(delta_of(Bitwidth::kInt8), 0.01);  // "INT8 incurs little degradation"
+  EXPECT_GT(delta_of(Bitwidth::kInt4), 0.1);
+  EXPECT_GT(delta_of(Bitwidth::kInt3), delta_of(Bitwidth::kInt4) * 2.0);
+}
+
+TEST(QualityModel, AccuracyMovesOppositeToPpl) {
+  const auto m = sq::model::spec(ModelId::kOpt30B);
+  const QualityModel q(m, kBits);
+  const auto good = q.estimate_from_ppl_delta(0.0);
+  const auto bad = q.estimate_from_ppl_delta(2.0);
+  EXPECT_GT(good.accuracy, bad.accuracy);
+  EXPECT_GE(bad.accuracy, 25.0);  // floored
+}
+
+TEST(QualityModel, MixedBeatsUniformNarrow) {
+  const auto m = sq::model::spec(ModelId::kOpt30B);
+  const QualityModel q(m, kBits);
+  std::vector<Bitwidth> uni4(static_cast<std::size_t>(m.n_layers), Bitwidth::kInt4);
+  std::vector<Bitwidth> mixed = uni4;
+  for (std::size_t l = 0; l < mixed.size(); l += 2) mixed[l] = Bitwidth::kInt8;
+  EXPECT_LT(q.estimate(mixed).ppl_delta, q.estimate(uni4).ppl_delta);
+}
+
+TEST(QualityModel, TableIQuantizingLateLayersCostsMore) {
+  const auto m = sq::model::spec(ModelId::kOpt1_3B);  // 24 layers
+  const QualityModel q(m, kBits);
+  std::vector<Bitwidth> early(static_cast<std::size_t>(m.n_layers), Bitwidth::kFp16);
+  std::vector<Bitwidth> late = early;
+  for (int l = 0; l < 8; ++l) early[static_cast<std::size_t>(l)] = Bitwidth::kInt4;
+  for (int l = 16; l < 24; ++l) late[static_cast<std::size_t>(l)] = Bitwidth::kInt4;
+  EXPECT_LT(q.estimate(early).ppl_delta, q.estimate(late).ppl_delta);
+}
+
+TEST(QualityModel, OmegaRoundTrip) {
+  const auto m = sq::model::spec(ModelId::kOpt30B);
+  const QualityModel q(m, kBits);
+  const double omega = q.uniform_omega(Bitwidth::kInt4);
+  EXPECT_GT(omega, 0.0);
+  const auto e = q.estimate_from_omega(omega);
+  EXPECT_NEAR(e.ppl_delta, 0.4, 1e-9);
+  const auto e2 = q.estimate_from_ppl_delta(e.ppl_delta);
+  EXPECT_NEAR(e2.total_omega, omega, omega * 1e-9);
+}
+
+TEST(QualityModel, LargerModelsScoreHigherAccuracy) {
+  const QualityModel small(sq::model::spec(ModelId::kOpt1_3B), kBits);
+  const QualityModel large(sq::model::spec(ModelId::kLlama33_70B), kBits);
+  EXPECT_GT(large.base_accuracy(), small.base_accuracy());
+}
+
+}  // namespace
+}  // namespace sq::quality

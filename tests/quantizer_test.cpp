@@ -1,0 +1,186 @@
+// Unit + property tests for the quantizer: round-trips, scaling factors,
+// rounding modes, error monotonicity in bitwidth.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "quant/quantizer.h"
+#include "tensor/rng.h"
+
+namespace sq::quant {
+namespace {
+
+using sq::hw::Bitwidth;
+
+std::vector<float> random_weights(std::size_t n, std::uint64_t seed, float stddev = 0.1f) {
+  sq::tensor::Rng rng(seed);
+  std::vector<float> w(n);
+  rng.fill_normal(w, 0.0f, stddev);
+  return w;
+}
+
+TEST(ScaleForRange, AsymmetricFormula) {
+  // (max - min) / (2^b - 1), paper Sec. IV-B.
+  EXPECT_FLOAT_EQ(scale_for_range(-1.0f, 1.0f, Bitwidth::kInt8, Scheme::kAsymmetric),
+                  2.0f / 255.0f);
+  EXPECT_FLOAT_EQ(scale_for_range(-1.0f, 1.0f, Bitwidth::kInt4, Scheme::kAsymmetric),
+                  2.0f / 15.0f);
+  EXPECT_FLOAT_EQ(scale_for_range(-1.0f, 1.0f, Bitwidth::kInt3, Scheme::kAsymmetric),
+                  2.0f / 7.0f);
+}
+
+TEST(ScaleForRange, SymmetricFormula) {
+  // max|.| / (2^(b-1) - 1).
+  EXPECT_FLOAT_EQ(scale_for_range(-0.5f, 1.0f, Bitwidth::kInt8, Scheme::kSymmetric),
+                  1.0f / 127.0f);
+  EXPECT_FLOAT_EQ(scale_for_range(-2.0f, 1.0f, Bitwidth::kInt4, Scheme::kSymmetric),
+                  2.0f / 7.0f);
+}
+
+TEST(ScaleForRange, Fp16IsIdentity) {
+  EXPECT_FLOAT_EQ(scale_for_range(-3.0f, 3.0f, Bitwidth::kFp16, Scheme::kSymmetric), 1.0f);
+}
+
+TEST(ScaleForRange, DegenerateRange) {
+  EXPECT_FLOAT_EQ(scale_for_range(0.0f, 0.0f, Bitwidth::kInt4, Scheme::kSymmetric), 1.0f);
+}
+
+TEST(CodeRange, MatchesBitwidths) {
+  EXPECT_EQ(code_range(Bitwidth::kInt8, Scheme::kSymmetric),
+            (std::pair<std::int32_t, std::int32_t>{-127, 127}));
+  EXPECT_EQ(code_range(Bitwidth::kInt4, Scheme::kAsymmetric),
+            (std::pair<std::int32_t, std::int32_t>{0, 15}));
+  EXPECT_EQ(code_range(Bitwidth::kInt3, Scheme::kSymmetric),
+            (std::pair<std::int32_t, std::int32_t>{-3, 3}));
+}
+
+TEST(Quantize, RoundTripErrorBoundedByScale) {
+  // |x - dequant(quant(x))| <= scale/2 for in-range values with
+  // deterministic rounding.
+  const auto w = random_weights(4096, 1);
+  for (const Bitwidth b : {Bitwidth::kInt8, Bitwidth::kInt4, Bitwidth::kInt3}) {
+    const QuantParams p = compute_params(w, b, Scheme::kAsymmetric);
+    std::vector<std::int32_t> codes(w.size());
+    quantize(w, p, b, Scheme::kAsymmetric, Rounding::kDeterministic, nullptr, codes);
+    std::vector<float> rec(w.size());
+    dequantize(codes, p, rec);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      EXPECT_LE(std::abs(rec[i] - w[i]), p.scale * 0.5f + 1e-6f)
+          << "bit=" << bits(b) << " i=" << i;
+    }
+  }
+}
+
+TEST(Quantize, ExtremesMapToCodeEndpoints) {
+  const std::vector<float> w = {-1.0f, -0.5f, 0.0f, 0.5f, 1.0f};
+  const QuantParams p = compute_params(w, Bitwidth::kInt4, Scheme::kAsymmetric);
+  std::vector<std::int32_t> codes(w.size());
+  quantize(w, p, Bitwidth::kInt4, Scheme::kAsymmetric, Rounding::kDeterministic,
+           nullptr, codes);
+  EXPECT_EQ(codes.front(), 0);
+  EXPECT_EQ(codes.back(), 15);
+}
+
+TEST(Quantize, StochasticRoundingIsUnbiased) {
+  // E[round_stochastic(x)] == x: average many round-trips of one value.
+  sq::tensor::Rng rng(7);
+  const std::vector<float> w = {0.0f, 0.37f, 1.0f};  // 0.37 between grid points
+  const QuantParams p = compute_params(w, Bitwidth::kInt3, Scheme::kAsymmetric);
+  double acc = 0.0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<std::int32_t> codes(w.size());
+    quantize(w, p, Bitwidth::kInt3, Scheme::kAsymmetric, Rounding::kStochastic, &rng,
+             codes);
+    std::vector<float> rec(w.size());
+    dequantize(codes, p, rec);
+    acc += rec[1];
+  }
+  EXPECT_NEAR(acc / trials, 0.37, 0.01);
+}
+
+TEST(QuantizationMse, DecreasesWithBitwidth) {
+  const auto w = random_weights(8192, 3);
+  const double e3 = quantization_mse(w, Bitwidth::kInt3, Scheme::kSymmetric,
+                                     Rounding::kDeterministic);
+  const double e4 = quantization_mse(w, Bitwidth::kInt4, Scheme::kSymmetric,
+                                     Rounding::kDeterministic);
+  const double e8 = quantization_mse(w, Bitwidth::kInt8, Scheme::kSymmetric,
+                                     Rounding::kDeterministic);
+  EXPECT_GT(e3, e4);
+  EXPECT_GT(e4, e8);
+  EXPECT_GT(e8, 0.0);
+}
+
+TEST(QuantizationMse, MatchesUniformNoiseModel) {
+  // For dense Gaussian weights, MSE ~ scale^2 / 12 (uniform rounding noise).
+  const auto w = random_weights(200000, 5);
+  const QuantParams p = compute_params(w, Bitwidth::kInt8, Scheme::kAsymmetric);
+  const double e = quantization_mse(w, Bitwidth::kInt8, Scheme::kAsymmetric,
+                                    Rounding::kDeterministic);
+  const double predicted = p.scale * p.scale / 12.0;
+  EXPECT_NEAR(e / predicted, 1.0, 0.15);
+}
+
+TEST(FakeQuantize, Fp16PathIsNearlyLossless) {
+  const auto w = random_weights(1024, 9);
+  const auto rec = fake_quantize(w, Bitwidth::kFp16, Scheme::kSymmetric,
+                                 Rounding::kDeterministic);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(rec[i], w[i], std::abs(w[i]) * 1e-3 + 1e-6);
+  }
+}
+
+TEST(ToFp16, RepresentableValuesExact) {
+  EXPECT_EQ(to_fp16(1.0f), 1.0f);
+  EXPECT_EQ(to_fp16(0.5f), 0.5f);
+  EXPECT_EQ(to_fp16(-2.0f), -2.0f);
+  EXPECT_EQ(to_fp16(0.0f), 0.0f);
+}
+
+TEST(ToFp16, OverflowClampsToMax) {
+  EXPECT_EQ(to_fp16(1e6f), 65504.0f);
+  EXPECT_EQ(to_fp16(-1e6f), -65504.0f);
+}
+
+TEST(ToFp16, MantissaPrecisionLoss) {
+  // 2049 is not representable in fp16 (11-bit significand).
+  const float v = to_fp16(2049.0f);
+  EXPECT_NE(v, 2049.0f);
+  EXPECT_NEAR(v, 2049.0f, 2.0f);
+}
+
+// Parameterized round-trip sweep over (bitwidth, scheme, rounding).
+struct QuantCase {
+  Bitwidth bit;
+  Scheme scheme;
+  Rounding rounding;
+};
+
+class QuantRoundTrip : public ::testing::TestWithParam<QuantCase> {};
+
+TEST_P(QuantRoundTrip, ErrorWithinOneStep) {
+  const auto [bit, scheme, rounding] = GetParam();
+  const auto w = random_weights(2048, 11);
+  sq::tensor::Rng rng(13);
+  const auto rec = fake_quantize(w, bit, scheme, rounding, &rng);
+  const QuantParams p = compute_params(w, bit, scheme);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    // Stochastic rounding can land on the far neighbor: allow one step.
+    EXPECT_LE(std::abs(rec[i] - w[i]), p.scale * 1.0f + 1e-6f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, QuantRoundTrip,
+    ::testing::Values(
+        QuantCase{Bitwidth::kInt8, Scheme::kSymmetric, Rounding::kDeterministic},
+        QuantCase{Bitwidth::kInt8, Scheme::kAsymmetric, Rounding::kDeterministic},
+        QuantCase{Bitwidth::kInt4, Scheme::kSymmetric, Rounding::kDeterministic},
+        QuantCase{Bitwidth::kInt4, Scheme::kAsymmetric, Rounding::kStochastic},
+        QuantCase{Bitwidth::kInt3, Scheme::kSymmetric, Rounding::kStochastic},
+        QuantCase{Bitwidth::kInt3, Scheme::kAsymmetric, Rounding::kDeterministic}));
+
+}  // namespace
+}  // namespace sq::quant

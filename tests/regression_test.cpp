@@ -1,0 +1,84 @@
+// Tests for the least-squares fitter.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cost/regression.h"
+#include "tensor/rng.h"
+
+namespace sq::cost {
+namespace {
+
+TEST(LinearRegression, RecoversExactLinearModel) {
+  // y = 3 + 2a - b on a grid.
+  std::vector<double> x, y;
+  for (double a = 0; a < 5; ++a) {
+    for (double b = 0; b < 5; ++b) {
+      x.insert(x.end(), {1.0, a, b});
+      y.push_back(3.0 + 2.0 * a - b);
+    }
+  }
+  LinearRegression reg;
+  ASSERT_TRUE(reg.fit(x, y.size(), 3, y));
+  EXPECT_NEAR(reg.coefficients()[0], 3.0, 1e-8);
+  EXPECT_NEAR(reg.coefficients()[1], 2.0, 1e-8);
+  EXPECT_NEAR(reg.coefficients()[2], -1.0, 1e-8);
+  const double feats[] = {1.0, 10.0, 4.0};
+  EXPECT_NEAR(reg.predict(feats), 3.0 + 20.0 - 4.0, 1e-7);
+}
+
+TEST(LinearRegression, HandlesNoisyData) {
+  sq::tensor::Rng rng(1);
+  std::vector<double> x, y;
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.uniform(0, 10), b = rng.uniform(0, 10);
+    x.insert(x.end(), {1.0, a, b});
+    y.push_back(5.0 + 0.7 * a + 1.3 * b + rng.normal(0.0, 0.1));
+  }
+  LinearRegression reg;
+  ASSERT_TRUE(reg.fit(x, y.size(), 3, y));
+  EXPECT_NEAR(reg.coefficients()[1], 0.7, 0.02);
+  EXPECT_NEAR(reg.coefficients()[2], 1.3, 0.02);
+  EXPECT_LT(reg.training_mape(x, y.size(), 3, y), 0.02);
+}
+
+TEST(LinearRegression, CollinearFeaturesSurviveViaRidge) {
+  // Second and third features identical: ridge keeps the solve stable and
+  // predictions exact even though individual coefficients are not unique.
+  std::vector<double> x, y;
+  for (double a = 1; a <= 20; ++a) {
+    x.insert(x.end(), {1.0, a, a});
+    y.push_back(2.0 * a);
+  }
+  LinearRegression reg;
+  ASSERT_TRUE(reg.fit(x, y.size(), 3, y, 1e-6));
+  const double feats[] = {1.0, 7.0, 7.0};
+  EXPECT_NEAR(reg.predict(feats), 14.0, 1e-3);
+}
+
+TEST(LinearRegression, EmptyInputFails) {
+  LinearRegression reg;
+  EXPECT_FALSE(reg.fit({}, 0, 0, {}));
+}
+
+TEST(LinearRegression, UnderdeterminedStillPredictsTrainingPoints) {
+  // 2 samples, 3 features: ridge-regularized minimum-norm fit should at
+  // least reproduce the training targets.
+  const std::vector<double> x = {1.0, 2.0, 3.0, 1.0, 5.0, 1.0};
+  const std::vector<double> y = {10.0, 20.0};
+  LinearRegression reg;
+  ASSERT_TRUE(reg.fit(x, 2, 3, y, 1e-8));
+  EXPECT_NEAR(reg.predict(std::span<const double>(x).subspan(0, 3)), 10.0, 0.05);
+  EXPECT_NEAR(reg.predict(std::span<const double>(x).subspan(3, 3)), 20.0, 0.05);
+}
+
+TEST(LinearRegression, MapeSkipsZeroTargets) {
+  const std::vector<double> x = {1.0, 1.0};
+  const std::vector<double> y = {0.0, 0.0};
+  LinearRegression reg;
+  ASSERT_TRUE(reg.fit(x, 2, 1, y));
+  EXPECT_EQ(reg.training_mape(x, 2, 1, y), 0.0);
+}
+
+}  // namespace
+}  // namespace sq::cost

@@ -1,0 +1,124 @@
+// Unit tests for the deterministic RNG layer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "tensor/rng.h"
+
+namespace sq::tensor {
+namespace {
+
+TEST(SplitMix64, SameSeedSameStream) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_EQ(same, 0);
+}
+
+TEST(SplitMix64, DoublesInUnitInterval) {
+  SplitMix64 g(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = g.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(SplitMix64, NextBelowBounds) {
+  SplitMix64 g(11);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(g.next_below(17), 17u);
+  }
+  EXPECT_EQ(g.next_below(1), 0u);
+  EXPECT_EQ(g.next_below(0), 0u);
+}
+
+TEST(SplitMix64, NextBelowIsRoughlyUniform) {
+  SplitMix64 g(13);
+  std::vector<int> counts(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[g.next_below(8)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 8.0, 0.05 * n / 8.0);
+  }
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(17);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParams) {
+  Rng rng(19);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(29);
+  const int n = 100001;
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.lognormal(std::log(100.0), 0.5);
+  std::nth_element(v.begin(), v.begin() + n / 2, v.end());
+  EXPECT_NEAR(v[static_cast<std::size_t>(n / 2)], 100.0, 5.0);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(31);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(3, 6);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 6);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all of 3,4,5,6 hit
+  EXPECT_EQ(rng.range(9, 9), 9);
+  EXPECT_EQ(rng.range(9, 2), 9);  // degenerate returns lo
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(37);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(DeriveSeed, StreamsAreIndependent) {
+  const auto s0 = derive_seed(42, 0);
+  const auto s1 = derive_seed(42, 1);
+  EXPECT_NE(s0, s1);
+  EXPECT_EQ(derive_seed(42, 0), s0);  // deterministic
+}
+
+TEST(SeedFromString, StableAndDistinct) {
+  EXPECT_EQ(seed_from_string("abc"), seed_from_string("abc"));
+  EXPECT_NE(seed_from_string("abc"), seed_from_string("abd"));
+  EXPECT_NE(seed_from_string(""), seed_from_string("a"));
+}
+
+}  // namespace
+}  // namespace sq::tensor

@@ -1,0 +1,93 @@
+// Tests for the phase-adaptive batch scheduler.
+#include <gtest/gtest.h>
+
+#include "hw/paper_clusters.h"
+#include "model/registry.h"
+#include "runtime/scheduler.h"
+#include "sim/memory.h"
+
+namespace sq::runtime {
+namespace {
+
+using sq::hw::Bitwidth;
+
+sq::sim::ExecutionPlan plan_for(const sq::model::LlmSpec& m, int stages, Bitwidth b) {
+  sq::sim::ExecutionPlan p;
+  const int per = m.n_layers / stages;
+  for (int s = 0; s < stages; ++s) {
+    p.stages.push_back({{s}, s * per, s + 1 == stages ? m.n_layers : (s + 1) * per});
+  }
+  p.layer_bits.assign(static_cast<std::size_t>(m.n_layers), b);
+  p.prefill_microbatch = 8;
+  p.decode_microbatch = 32;
+  return p;
+}
+
+TEST(Scheduler, MaxConcurrencyFindsBoundary) {
+  const auto m = sq::model::spec(sq::model::ModelId::kOpt30B);
+  const auto c = sq::hw::paper_cluster(9);
+  const auto p = plan_for(m, 4, Bitwidth::kInt8);
+  sq::sim::BatchWorkload w{256, 1024, 128, 2048};
+  const std::uint64_t cap = max_concurrency(c, m, p, w);
+  ASSERT_GT(cap, 0u);
+  // The boundary must be exact: cap fits, cap+1 does not.
+  sq::sim::BatchWorkload ok = w;
+  ok.batch_size = cap;
+  EXPECT_FALSE(sq::sim::plan_memory(c, m, p, ok).oom);
+  ok.batch_size = cap + 1;
+  EXPECT_TRUE(sq::sim::plan_memory(c, m, p, ok).oom);
+}
+
+TEST(Scheduler, QuantizedWeightsRaiseConcurrency) {
+  const auto m = sq::model::spec(sq::model::ModelId::kOpt30B);
+  const auto c = sq::hw::paper_cluster(9);
+  sq::sim::BatchWorkload w{256, 1024, 128, 2048};
+  const auto cap16 = max_concurrency(c, m, plan_for(m, 4, Bitwidth::kFp16), w);
+  const auto cap4 = max_concurrency(c, m, plan_for(m, 4, Bitwidth::kInt4), w);
+  EXPECT_GT(cap4, cap16);
+}
+
+TEST(Scheduler, ZeroWhenWeightsDontFit) {
+  const auto m = sq::model::spec(sq::model::ModelId::kOpt66B);
+  const auto c = sq::hw::paper_cluster(1);  // one V100
+  sq::sim::ExecutionPlan p;
+  p.stages.push_back({{0}, 0, m.n_layers});
+  p.layer_bits.assign(static_cast<std::size_t>(m.n_layers), Bitwidth::kFp16);
+  sq::sim::BatchWorkload w{8, 512, 32, 2048};
+  EXPECT_EQ(max_concurrency(c, m, p, w), 0u);
+  const BatchSchedule s = schedule_batch(c, m, p, w);
+  EXPECT_FALSE(s.weights_fit);
+}
+
+TEST(Scheduler, WavesAreBalanced) {
+  const auto m = sq::model::spec(sq::model::ModelId::kOpt30B);
+  const auto c = sq::hw::paper_cluster(9);
+  const auto p = plan_for(m, 4, Bitwidth::kInt8);
+  sq::sim::BatchWorkload w{256, 1024, 128, 2048};
+  const BatchSchedule s = schedule_batch(c, m, p, w);
+  ASSERT_TRUE(s.weights_fit);
+  ASSERT_FALSE(s.waves.empty());
+  std::uint64_t total = 0, mn = ~0ULL, mx = 0;
+  for (const auto wv : s.waves) {
+    total += wv;
+    mn = std::min(mn, wv);
+    mx = std::max(mx, wv);
+  }
+  EXPECT_EQ(total, w.batch_size);
+  EXPECT_LE(mx - mn, 1u);  // no starving remainder wave
+}
+
+TEST(Scheduler, SingleWaveWhenItFits) {
+  const auto m = sq::model::spec(sq::model::ModelId::kOpt13B);
+  const auto c = sq::hw::paper_cluster(9);
+  const auto p = plan_for(m, 4, Bitwidth::kInt4);
+  sq::sim::BatchWorkload w{8, 256, 16, 2048};
+  const BatchSchedule s = schedule_batch(c, m, p, w);
+  ASSERT_EQ(s.waves.size(), 1u);
+  EXPECT_EQ(s.waves[0], 8u);
+  EXPECT_EQ(s.eta, 8u);
+  EXPECT_EQ(s.xi, 32u);
+}
+
+}  // namespace
+}  // namespace sq::runtime

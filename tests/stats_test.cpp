@@ -1,0 +1,90 @@
+// Unit tests for summary statistics and error metrics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/stats.h"
+
+namespace sq::tensor {
+namespace {
+
+TEST(Summarize, EmptyIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.variance, 0.0);
+}
+
+TEST(Summarize, KnownValues) {
+  const float vals[] = {1.0f, 2.0f, 3.0f, 4.0f};
+  const Summary s = summarize(vals);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.variance, 1.25);  // population variance
+  EXPECT_EQ(s.min, 1.0f);
+  EXPECT_EQ(s.max, 4.0f);
+}
+
+TEST(Summarize, SingleElement) {
+  const float vals[] = {7.5f};
+  const Summary s = summarize(vals);
+  EXPECT_DOUBLE_EQ(s.mean, 7.5);
+  EXPECT_DOUBLE_EQ(s.variance, 0.0);
+  EXPECT_EQ(s.min, 7.5f);
+  EXPECT_EQ(s.max, 7.5f);
+}
+
+TEST(OnlineSummary, ChunkedMatchesOneShot) {
+  Rng rng(3);
+  std::vector<float> data(1000);
+  for (auto& v : data) v = static_cast<float>(rng.normal(2.0, 3.0));
+
+  const Summary oneshot = summarize(data);
+  OnlineSummary online;
+  online.add(std::span<const float>(data).subspan(0, 100));
+  online.add(std::span<const float>(data).subspan(100, 400));
+  online.add(std::span<const float>(data).subspan(500, 500));
+  const Summary chunked = online.finish();
+
+  EXPECT_EQ(chunked.count, oneshot.count);
+  EXPECT_NEAR(chunked.mean, oneshot.mean, 1e-9);
+  EXPECT_NEAR(chunked.variance, oneshot.variance, 1e-7);
+  EXPECT_EQ(chunked.min, oneshot.min);
+  EXPECT_EQ(chunked.max, oneshot.max);
+}
+
+TEST(Mape, PerfectPredictionIsZero) {
+  const double p[] = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mape(p, p), 0.0);
+}
+
+TEST(Mape, KnownError) {
+  const double pred[] = {110.0, 90.0};
+  const double act[] = {100.0, 100.0};
+  EXPECT_NEAR(mape(pred, act), 0.10, 1e-12);
+}
+
+TEST(Mape, SkipsNearZeroActuals) {
+  const double pred[] = {5.0, 110.0};
+  const double act[] = {0.0, 100.0};
+  EXPECT_NEAR(mape(pred, act), 0.10, 1e-12);
+}
+
+TEST(RSquared, PerfectFitIsOne) {
+  const double p[] = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(r_squared(p, p), 1.0);
+}
+
+TEST(RSquared, MeanPredictorIsZero) {
+  const double act[] = {1.0, 2.0, 3.0};
+  const double pred[] = {2.0, 2.0, 2.0};
+  EXPECT_NEAR(r_squared(pred, act), 0.0, 1e-12);
+}
+
+TEST(RSquared, EmptyIsZero) {
+  EXPECT_EQ(r_squared({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace sq::tensor

@@ -1,0 +1,184 @@
+// Unit tests for the dense tensor type and its NN primitives.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace sq::tensor {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.rows(), 0u);
+  EXPECT_EQ(t.cols(), 0u);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t(3, 4);
+  EXPECT_EQ(t.size(), 12u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, ConstructFromValues) {
+  const float vals[] = {1, 2, 3, 4, 5, 6};
+  Tensor t(2, 3, vals);
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 2), 3.0f);
+  EXPECT_EQ(t.at(1, 0), 4.0f);
+  EXPECT_EQ(t.at(1, 2), 6.0f);
+}
+
+TEST(Tensor, RowSpanWrites) {
+  Tensor t(2, 3);
+  auto r1 = t.row(1);
+  r1[0] = 7.0f;
+  EXPECT_EQ(t.at(1, 0), 7.0f);
+  EXPECT_EQ(t.at(0, 0), 0.0f);
+}
+
+TEST(Tensor, FillNormalIsDeterministic) {
+  Rng a(99), b(99);
+  Tensor x(4, 4), y(4, 4);
+  x.fill_normal(a, 0.0f, 1.0f);
+  y.fill_normal(b, 0.0f, 1.0f);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_EQ(x[i], y[i]);
+}
+
+TEST(Tensor, ShapeString) {
+  Tensor t(4, 768);
+  EXPECT_EQ(t.shape_str(), "[4 x 768]");
+}
+
+TEST(Ops, MatmulIdentity) {
+  const float a_vals[] = {1, 2, 3, 4};
+  const float id_vals[] = {1, 0, 0, 1};
+  Tensor a(2, 2, a_vals), id(2, 2, id_vals);
+  const Tensor c = matmul(a, id);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(c[i], a[i]);
+}
+
+TEST(Ops, MatmulKnownResult) {
+  const float a_vals[] = {1, 2, 3, 4, 5, 6};           // 2x3
+  const float b_vals[] = {7, 8, 9, 10, 11, 12};        // 3x2
+  Tensor a(2, 3, a_vals), b(3, 2, b_vals);
+  const Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Ops, MatmulBtMatchesExplicitTranspose) {
+  Rng rng(5);
+  Tensor a(3, 4), b(5, 4);
+  a.fill_normal(rng, 0.0f, 1.0f);
+  b.fill_normal(rng, 0.0f, 1.0f);
+  const Tensor direct = matmul_bt(a, b);
+  const Tensor via_t = matmul(a, transpose(b));
+  EXPECT_LT(mse(direct, via_t), 1e-12);
+}
+
+TEST(Ops, TransposeRoundTrip) {
+  Rng rng(6);
+  Tensor a(3, 7);
+  a.fill_uniform(rng, -1.0f, 1.0f);
+  const Tensor tt = transpose(transpose(a));
+  EXPECT_LT(mse(a, tt), 1e-12);
+}
+
+TEST(Ops, AddSubInverse) {
+  Rng rng(7);
+  Tensor a(4, 4), b(4, 4);
+  a.fill_normal(rng, 0.0f, 1.0f);
+  b.fill_normal(rng, 0.0f, 1.0f);
+  const Tensor back = sub(add(a, b), b);
+  EXPECT_LT(mse(a, back), 1e-10);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  Rng rng(8);
+  Tensor a(5, 9);
+  a.fill_normal(rng, 0.0f, 3.0f);
+  softmax_rows_inplace(a);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double sum = 0.0;
+    for (float v : a.row(r)) {
+      EXPECT_GE(v, 0.0f);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Ops, SoftmaxIsStableForLargeLogits) {
+  const float vals[] = {1000.0f, 1001.0f, 999.0f};
+  Tensor a(1, 3, vals);
+  softmax_rows_inplace(a);
+  EXPECT_TRUE(std::isfinite(a[0]));
+  EXPECT_GT(a[1], a[0]);
+  EXPECT_GT(a[0], a[2]);
+}
+
+TEST(Ops, LayerNormZeroMeanUnitVar) {
+  Rng rng(9);
+  Tensor a(3, 64);
+  a.fill_normal(rng, 5.0f, 2.0f);
+  Tensor gain(1, 64), bias(1, 64);
+  for (std::size_t i = 0; i < 64; ++i) gain[i] = 1.0f;
+  const Tensor out = layernorm_rows(a, gain, bias);
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    double mean = 0.0, var = 0.0;
+    for (float v : out.row(r)) mean += v;
+    mean /= 64.0;
+    for (float v : out.row(r)) var += (v - mean) * (v - mean);
+    var /= 64.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(Ops, GeluMatchesReferencePoints) {
+  const float vals[] = {-2.0f, 0.0f, 2.0f};
+  Tensor a(1, 3, vals);
+  gelu_inplace(a);
+  EXPECT_NEAR(a[0], -0.0454f, 5e-3);  // gelu(-2)
+  EXPECT_NEAR(a[1], 0.0f, 1e-6);
+  EXPECT_NEAR(a[2], 1.9546f, 5e-3);  // gelu(2)
+}
+
+TEST(Ops, ReluClampsNegatives) {
+  const float vals[] = {-1.0f, 0.5f};
+  Tensor a(1, 2, vals);
+  relu_inplace(a);
+  EXPECT_EQ(a[0], 0.0f);
+  EXPECT_EQ(a[1], 0.5f);
+}
+
+TEST(Ops, CrossEntropyPrefersCorrectClass) {
+  // Logits strongly favoring class 1.
+  const float vals[] = {0.0f, 10.0f, 0.0f};
+  Tensor logits(1, 3, vals);
+  const int right[] = {1};
+  const int wrong[] = {0};
+  EXPECT_LT(cross_entropy_rows(logits, right), cross_entropy_rows(logits, wrong));
+}
+
+TEST(Ops, CrossEntropySkipsOutOfRangeTargets) {
+  const float vals[] = {1.0f, 2.0f};
+  Tensor logits(1, 2, vals);
+  const int bad[] = {5};
+  EXPECT_EQ(cross_entropy_rows(logits, bad), 0.0);
+}
+
+TEST(Ops, SumSquares) {
+  const float vals[] = {3.0f, 4.0f};
+  Tensor a(1, 2, vals);
+  EXPECT_DOUBLE_EQ(sum_squares(a), 25.0);
+}
+
+}  // namespace
+}  // namespace sq::tensor

@@ -1,0 +1,107 @@
+// Tests for device-topology enumeration.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/topology.h"
+#include "hw/paper_clusters.h"
+
+namespace sq::core {
+namespace {
+
+TEST(Topology, SingleDeviceClusterHasOneTopology) {
+  const auto c = sq::hw::paper_cluster(1);
+  const auto topos = enumerate_topologies(c, true, 16);
+  ASSERT_EQ(topos.size(), 1u);
+  EXPECT_EQ(topos[0].groups.size(), 1u);
+  EXPECT_EQ(topos[0].device_count(), 1);
+}
+
+TEST(Topology, TpMeshesOnHomogeneousNode) {
+  // 4x V100 on one node: TP1 (4 stages), TP2 (2 stages), TP4 (1 stage).
+  const auto c = sq::hw::paper_cluster(9);
+  const auto topos = enumerate_topologies(c, true, 16);
+  std::set<std::size_t> stage_counts;
+  for (const auto& t : topos) stage_counts.insert(t.groups.size());
+  EXPECT_TRUE(stage_counts.count(4));
+  EXPECT_TRUE(stage_counts.count(2));
+  EXPECT_TRUE(stage_counts.count(1));
+}
+
+TEST(Topology, NoTpWhenDisabled) {
+  const auto c = sq::hw::paper_cluster(9);
+  const auto topos = enumerate_topologies(c, false, 16);
+  for (const auto& t : topos) {
+    for (const auto& g : t.groups) EXPECT_EQ(g.devices.size(), 1u);
+  }
+}
+
+TEST(Topology, PermutationsDedupedBySignature) {
+  // Cluster 9: 4 identical V100s at TP1 -> exactly ONE distinct ordering.
+  const auto c = sq::hw::paper_cluster(9);
+  const auto topos = enumerate_topologies(c, false, 64);
+  EXPECT_EQ(topos.size(), 1u);
+}
+
+TEST(Topology, HeterogeneousOrderingsEnumerated) {
+  // Cluster 5 (3x T4 + 1x V100), no TP: orderings of the multiset
+  // {T,T,T,V} = 4 distinct signatures.
+  const auto c = sq::hw::paper_cluster(5);
+  const auto topos = enumerate_topologies(c, false, 64);
+  EXPECT_EQ(topos.size(), 4u);
+  std::set<std::string> descs;
+  for (const auto& t : topos) descs.insert(t.desc);
+  EXPECT_EQ(descs.size(), topos.size());  // all distinct
+}
+
+TEST(Topology, EveryDeviceUsedExactlyOnce) {
+  const auto c = sq::hw::paper_cluster(7);
+  for (const auto& t : enumerate_topologies(c, true, 32)) {
+    std::set<int> used;
+    for (const auto& g : t.groups) {
+      for (const int d : g.devices) EXPECT_TRUE(used.insert(d).second);
+    }
+    EXPECT_EQ(static_cast<int>(used.size()), c.device_count());
+  }
+}
+
+TEST(Topology, TpGroupsNeverCrossNodes) {
+  const auto c = sq::hw::paper_cluster(7);
+  for (const auto& t : enumerate_topologies(c, true, 32)) {
+    for (const auto& g : t.groups) {
+      for (const int d : g.devices) {
+        EXPECT_TRUE(c.same_node(g.devices.front(), d));
+      }
+    }
+  }
+}
+
+TEST(Topology, CapIsRespected) {
+  const auto c = sq::hw::paper_cluster(7);
+  const auto topos = enumerate_topologies(c, true, 5);
+  EXPECT_LE(topos.size(), 5u);
+  EXPECT_GE(topos.size(), 1u);
+}
+
+TEST(Topology, NaturalTopologiesKeepDeviceOrder) {
+  const auto c = sq::hw::paper_cluster(5);
+  const auto topos = natural_topologies(c, false);
+  ASSERT_EQ(topos.size(), 1u);
+  ASSERT_EQ(topos[0].groups.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(topos[0].groups[static_cast<std::size_t>(i)].devices[0], i);
+  }
+}
+
+TEST(Topology, DescribeNamesTypesAndTp) {
+  const auto c = sq::hw::paper_cluster(9);
+  Topology t;
+  t.groups.push_back({{0, 1}});
+  t.groups.push_back({{2}});
+  const std::string d = describe(t, c);
+  EXPECT_NE(d.find("V100xTP2"), std::string::npos);
+  EXPECT_NE(d.find("->"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sq::core

@@ -1,0 +1,122 @@
+// Tests for the executable tiny transformer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/probe.h"
+#include "nn/transformer.h"
+#include "tensor/ops.h"
+#include "tensor/stats.h"
+
+namespace sq::nn {
+namespace {
+
+TinyConfig small_config() {
+  TinyConfig cfg;
+  cfg.n_layers = 3;
+  cfg.d_model = 32;
+  cfg.d_ffn = 64;
+  cfg.n_heads = 4;
+  cfg.vocab = 64;
+  cfg.max_seq = 16;
+  cfg.seed = 1;
+  return cfg;
+}
+
+TEST(TinyTransformer, RejectsBadHeadCount) {
+  TinyConfig cfg = small_config();
+  cfg.n_heads = 5;  // 32 % 5 != 0
+  EXPECT_THROW(TinyTransformer{cfg}, std::invalid_argument);
+}
+
+TEST(TinyTransformer, ForwardShape) {
+  const TinyTransformer model(small_config());
+  const int tokens[] = {1, 2, 3, 4, 5};
+  const auto logits = model.forward(tokens);
+  EXPECT_EQ(logits.rows(), 5u);
+  EXPECT_EQ(logits.cols(), 64u);
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(logits[i]));
+  }
+}
+
+TEST(TinyTransformer, DeterministicForward) {
+  const TinyTransformer a(small_config()), b(small_config());
+  const int tokens[] = {7, 9, 11};
+  const auto la = a.forward(tokens);
+  const auto lb = b.forward(tokens);
+  EXPECT_LT(sq::tensor::mse(la, lb), 1e-12);
+}
+
+TEST(TinyTransformer, CausalityPrefixInvariance) {
+  // Logits at position i must not depend on tokens after i.
+  const TinyTransformer model(small_config());
+  const int full[] = {3, 1, 4, 1, 5, 9};
+  const int prefix[] = {3, 1, 4};
+  const auto lf = model.forward(full);
+  const auto lp = model.forward(prefix);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t v = 0; v < lp.cols(); ++v) {
+      EXPECT_NEAR(lf.at(i, v), lp.at(i, v), 1e-4) << "pos " << i;
+    }
+  }
+}
+
+TEST(TinyTransformer, Fp16QuantIsNearReference) {
+  const TinyTransformer model(small_config());
+  const int tokens[] = {1, 2, 3, 4};
+  const auto ref = model.forward(tokens);
+  const auto cfg = uniform_config(3, Bitwidth::kFp16);
+  const auto q = model.forward(tokens, cfg);
+  EXPECT_LT(sq::tensor::mse(ref, q), 1e-4);
+}
+
+TEST(TinyTransformer, QuantizationDistortsMonotonically) {
+  const TinyTransformer model(small_config());
+  const int tokens[] = {5, 6, 7, 8, 9, 10};
+  const auto ref = model.forward(tokens);
+  double prev = 0.0;
+  for (const Bitwidth b : {Bitwidth::kInt8, Bitwidth::kInt4, Bitwidth::kInt3}) {
+    const auto cfg = uniform_config(3, b);
+    const double err = sq::tensor::mse(ref, model.forward(tokens, cfg));
+    EXPECT_GT(err, prev) << to_string(b);
+    prev = err;
+  }
+}
+
+TEST(TinyTransformer, WeightsAccessor) {
+  const TinyTransformer model(small_config());
+  EXPECT_EQ(model.weights(0, Op::kQ).rows(), 32u);
+  EXPECT_EQ(model.weights(0, Op::kMlpUp).cols(), 64u);
+  EXPECT_EQ(model.weights(2, Op::kMlpDown).rows(), 64u);
+  EXPECT_THROW(model.weights(0, Op::kCount), std::invalid_argument);
+}
+
+TEST(TinyTransformer, DepthScalesWeightMagnitude) {
+  // Construction gives deeper layers wider weight ranges (Table I driver).
+  const TinyTransformer model(small_config());
+  const auto s0 = sq::tensor::summarize(model.weights(0, Op::kQ).data());
+  const auto s2 = sq::tensor::summarize(model.weights(2, Op::kQ).data());
+  EXPECT_GT(s2.max - s2.min, s0.max - s0.min);
+}
+
+TEST(TinyTransformer, CalibrationCapturesActivations) {
+  const TinyTransformer model(small_config());
+  const auto seqs = sample_sequences(model.config(), 3, 8, 1);
+  const auto stats = model.calibrate(seqs);
+  ASSERT_EQ(stats.size(), 3u);
+  for (const auto& layer : stats) {
+    ASSERT_EQ(layer.size(), static_cast<std::size_t>(Op::kCount));
+    for (const auto& op : layer) {
+      EXPECT_GT(op.weight_dim, 0u);
+      EXPECT_GT(op.x_var, 0.0);
+    }
+  }
+  // Raw activations exposed for the Hessian indicator.
+  const auto& acts = model.calibration_activations(0, Op::kQ);
+  EXPECT_GT(acts.rows(), 0u);
+  EXPECT_EQ(acts.cols(), 32u);
+}
+
+}  // namespace
+}  // namespace sq::nn
