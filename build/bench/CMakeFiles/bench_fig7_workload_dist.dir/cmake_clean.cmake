@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_workload_dist.dir/fig7_workload_dist.cpp.o"
+  "CMakeFiles/bench_fig7_workload_dist.dir/fig7_workload_dist.cpp.o.d"
+  "bench_fig7_workload_dist"
+  "bench_fig7_workload_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_workload_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_e2e_heterogeneous.dir/fig9_e2e_heterogeneous.cpp.o"
+  "CMakeFiles/bench_fig9_e2e_heterogeneous.dir/fig9_e2e_heterogeneous.cpp.o.d"
+  "bench_fig9_e2e_heterogeneous"
+  "bench_fig9_e2e_heterogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_e2e_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_layer_sensitivity.dir/tab1_layer_sensitivity.cpp.o"
+  "CMakeFiles/bench_tab1_layer_sensitivity.dir/tab1_layer_sensitivity.cpp.o.d"
+  "bench_tab1_layer_sensitivity"
+  "bench_tab1_layer_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_layer_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

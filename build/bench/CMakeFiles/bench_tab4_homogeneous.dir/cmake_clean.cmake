@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab4_homogeneous.dir/tab4_homogeneous.cpp.o"
+  "CMakeFiles/bench_tab4_homogeneous.dir/tab4_homogeneous.cpp.o.d"
+  "bench_tab4_homogeneous"
+  "bench_tab4_homogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_homogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab5_indicator.dir/tab5_indicator.cpp.o"
+  "CMakeFiles/bench_tab5_indicator.dir/tab5_indicator.cpp.o.d"
+  "bench_tab5_indicator"
+  "bench_tab5_indicator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab5_indicator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

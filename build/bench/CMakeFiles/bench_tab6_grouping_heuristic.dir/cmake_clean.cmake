@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab6_grouping_heuristic.dir/tab6_grouping_heuristic.cpp.o"
+  "CMakeFiles/bench_tab6_grouping_heuristic.dir/tab6_grouping_heuristic.cpp.o.d"
+  "bench_tab6_grouping_heuristic"
+  "bench_tab6_grouping_heuristic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab6_grouping_heuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/long_context_audit.dir/long_context_audit.cpp.o"
+  "CMakeFiles/long_context_audit.dir/long_context_audit.cpp.o.d"
+  "long_context_audit"
+  "long_context_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/long_context_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

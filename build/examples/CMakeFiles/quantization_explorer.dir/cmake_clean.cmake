@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantization_explorer.dir/quantization_explorer.cpp.o"
+  "CMakeFiles/quantization_explorer.dir/quantization_explorer.cpp.o.d"
+  "quantization_explorer"
+  "quantization_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantization_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitquant_cli.dir/splitquant_cli.cpp.o"
+  "CMakeFiles/splitquant_cli.dir/splitquant_cli.cpp.o.d"
+  "splitquant_cli"
+  "splitquant_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitquant_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

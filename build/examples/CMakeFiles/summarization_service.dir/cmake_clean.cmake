@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summarization_service.dir/summarization_service.cpp.o"
+  "CMakeFiles/summarization_service.dir/summarization_service.cpp.o.d"
+  "summarization_service"
+  "summarization_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summarization_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

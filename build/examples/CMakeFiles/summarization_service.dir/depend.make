@@ -1,0 +1,2 @@
+# Empty dependencies file for summarization_service.
+# This may be replaced when dependencies are built.

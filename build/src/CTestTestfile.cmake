@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("tensor")
+subdirs("hw")
+subdirs("quant")
+subdirs("model")
+subdirs("nn")
+subdirs("sim")
+subdirs("cost")
+subdirs("solver")
+subdirs("workload")
+subdirs("quality")
+subdirs("runtime")
+subdirs("core")

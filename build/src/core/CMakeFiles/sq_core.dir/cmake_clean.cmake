@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sq_core.dir/context.cpp.o"
+  "CMakeFiles/sq_core.dir/context.cpp.o.d"
+  "CMakeFiles/sq_core.dir/heuristics.cpp.o"
+  "CMakeFiles/sq_core.dir/heuristics.cpp.o.d"
+  "CMakeFiles/sq_core.dir/ilp.cpp.o"
+  "CMakeFiles/sq_core.dir/ilp.cpp.o.d"
+  "CMakeFiles/sq_core.dir/planner.cpp.o"
+  "CMakeFiles/sq_core.dir/planner.cpp.o.d"
+  "CMakeFiles/sq_core.dir/topology.cpp.o"
+  "CMakeFiles/sq_core.dir/topology.cpp.o.d"
+  "libsq_core.a"
+  "libsq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

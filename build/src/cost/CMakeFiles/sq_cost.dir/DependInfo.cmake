@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cost/latency_model.cpp" "src/cost/CMakeFiles/sq_cost.dir/latency_model.cpp.o" "gcc" "src/cost/CMakeFiles/sq_cost.dir/latency_model.cpp.o.d"
+  "/root/repo/src/cost/memory_model.cpp" "src/cost/CMakeFiles/sq_cost.dir/memory_model.cpp.o" "gcc" "src/cost/CMakeFiles/sq_cost.dir/memory_model.cpp.o.d"
+  "/root/repo/src/cost/regression.cpp" "src/cost/CMakeFiles/sq_cost.dir/regression.cpp.o" "gcc" "src/cost/CMakeFiles/sq_cost.dir/regression.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/sq_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/sq_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sq_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/sq_quant.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sq_cost.dir/latency_model.cpp.o"
+  "CMakeFiles/sq_cost.dir/latency_model.cpp.o.d"
+  "CMakeFiles/sq_cost.dir/memory_model.cpp.o"
+  "CMakeFiles/sq_cost.dir/memory_model.cpp.o.d"
+  "CMakeFiles/sq_cost.dir/regression.cpp.o"
+  "CMakeFiles/sq_cost.dir/regression.cpp.o.d"
+  "libsq_cost.a"
+  "libsq_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sq_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

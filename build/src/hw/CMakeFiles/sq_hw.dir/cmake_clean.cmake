@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sq_hw.dir/cluster.cpp.o"
+  "CMakeFiles/sq_hw.dir/cluster.cpp.o.d"
+  "CMakeFiles/sq_hw.dir/fleet.cpp.o"
+  "CMakeFiles/sq_hw.dir/fleet.cpp.o.d"
+  "CMakeFiles/sq_hw.dir/gpu.cpp.o"
+  "CMakeFiles/sq_hw.dir/gpu.cpp.o.d"
+  "CMakeFiles/sq_hw.dir/paper_clusters.cpp.o"
+  "CMakeFiles/sq_hw.dir/paper_clusters.cpp.o.d"
+  "libsq_hw.a"
+  "libsq_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sq_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

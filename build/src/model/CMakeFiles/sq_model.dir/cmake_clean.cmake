@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sq_model.dir/layer_stats.cpp.o"
+  "CMakeFiles/sq_model.dir/layer_stats.cpp.o.d"
+  "CMakeFiles/sq_model.dir/llm.cpp.o"
+  "CMakeFiles/sq_model.dir/llm.cpp.o.d"
+  "CMakeFiles/sq_model.dir/registry.cpp.o"
+  "CMakeFiles/sq_model.dir/registry.cpp.o.d"
+  "libsq_model.a"
+  "libsq_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sq_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

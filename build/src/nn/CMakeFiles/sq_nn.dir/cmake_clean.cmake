@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sq_nn.dir/probe.cpp.o"
+  "CMakeFiles/sq_nn.dir/probe.cpp.o.d"
+  "CMakeFiles/sq_nn.dir/transformer.cpp.o"
+  "CMakeFiles/sq_nn.dir/transformer.cpp.o.d"
+  "libsq_nn.a"
+  "libsq_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sq_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

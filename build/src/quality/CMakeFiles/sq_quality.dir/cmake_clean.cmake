@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sq_quality.dir/quality_model.cpp.o"
+  "CMakeFiles/sq_quality.dir/quality_model.cpp.o.d"
+  "libsq_quality.a"
+  "libsq_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sq_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quant/gptq.cpp" "src/quant/CMakeFiles/sq_quant.dir/gptq.cpp.o" "gcc" "src/quant/CMakeFiles/sq_quant.dir/gptq.cpp.o.d"
+  "/root/repo/src/quant/indicator.cpp" "src/quant/CMakeFiles/sq_quant.dir/indicator.cpp.o" "gcc" "src/quant/CMakeFiles/sq_quant.dir/indicator.cpp.o.d"
+  "/root/repo/src/quant/qtensor.cpp" "src/quant/CMakeFiles/sq_quant.dir/qtensor.cpp.o" "gcc" "src/quant/CMakeFiles/sq_quant.dir/qtensor.cpp.o.d"
+  "/root/repo/src/quant/quantizer.cpp" "src/quant/CMakeFiles/sq_quant.dir/quantizer.cpp.o" "gcc" "src/quant/CMakeFiles/sq_quant.dir/quantizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/sq_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/sq_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sq_quant.dir/gptq.cpp.o"
+  "CMakeFiles/sq_quant.dir/gptq.cpp.o.d"
+  "CMakeFiles/sq_quant.dir/indicator.cpp.o"
+  "CMakeFiles/sq_quant.dir/indicator.cpp.o.d"
+  "CMakeFiles/sq_quant.dir/qtensor.cpp.o"
+  "CMakeFiles/sq_quant.dir/qtensor.cpp.o.d"
+  "CMakeFiles/sq_quant.dir/quantizer.cpp.o"
+  "CMakeFiles/sq_quant.dir/quantizer.cpp.o.d"
+  "libsq_quant.a"
+  "libsq_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sq_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sq_runtime.dir/engine.cpp.o"
+  "CMakeFiles/sq_runtime.dir/engine.cpp.o.d"
+  "CMakeFiles/sq_runtime.dir/kv_cache.cpp.o"
+  "CMakeFiles/sq_runtime.dir/kv_cache.cpp.o.d"
+  "CMakeFiles/sq_runtime.dir/scheduler.cpp.o"
+  "CMakeFiles/sq_runtime.dir/scheduler.cpp.o.d"
+  "libsq_runtime.a"
+  "libsq_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sq_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/kernel_model.cpp" "src/sim/CMakeFiles/sq_sim.dir/kernel_model.cpp.o" "gcc" "src/sim/CMakeFiles/sq_sim.dir/kernel_model.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "src/sim/CMakeFiles/sq_sim.dir/memory.cpp.o" "gcc" "src/sim/CMakeFiles/sq_sim.dir/memory.cpp.o.d"
+  "/root/repo/src/sim/pipeline.cpp" "src/sim/CMakeFiles/sq_sim.dir/pipeline.cpp.o" "gcc" "src/sim/CMakeFiles/sq_sim.dir/pipeline.cpp.o.d"
+  "/root/repo/src/sim/plan.cpp" "src/sim/CMakeFiles/sq_sim.dir/plan.cpp.o" "gcc" "src/sim/CMakeFiles/sq_sim.dir/plan.cpp.o.d"
+  "/root/repo/src/sim/plan_io.cpp" "src/sim/CMakeFiles/sq_sim.dir/plan_io.cpp.o" "gcc" "src/sim/CMakeFiles/sq_sim.dir/plan_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/sq_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/sq_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sq_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/sq_quant.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

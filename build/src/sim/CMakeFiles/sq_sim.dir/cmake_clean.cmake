@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sq_sim.dir/kernel_model.cpp.o"
+  "CMakeFiles/sq_sim.dir/kernel_model.cpp.o.d"
+  "CMakeFiles/sq_sim.dir/memory.cpp.o"
+  "CMakeFiles/sq_sim.dir/memory.cpp.o.d"
+  "CMakeFiles/sq_sim.dir/pipeline.cpp.o"
+  "CMakeFiles/sq_sim.dir/pipeline.cpp.o.d"
+  "CMakeFiles/sq_sim.dir/plan.cpp.o"
+  "CMakeFiles/sq_sim.dir/plan.cpp.o.d"
+  "CMakeFiles/sq_sim.dir/plan_io.cpp.o"
+  "CMakeFiles/sq_sim.dir/plan_io.cpp.o.d"
+  "libsq_sim.a"
+  "libsq_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sq_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sq_solver.dir/lp.cpp.o"
+  "CMakeFiles/sq_solver.dir/lp.cpp.o.d"
+  "CMakeFiles/sq_solver.dir/milp.cpp.o"
+  "CMakeFiles/sq_solver.dir/milp.cpp.o.d"
+  "libsq_solver.a"
+  "libsq_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sq_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

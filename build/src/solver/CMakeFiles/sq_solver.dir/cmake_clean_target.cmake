@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsq_solver.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sq_tensor.dir/ops.cpp.o"
+  "CMakeFiles/sq_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/sq_tensor.dir/rng.cpp.o"
+  "CMakeFiles/sq_tensor.dir/rng.cpp.o.d"
+  "CMakeFiles/sq_tensor.dir/stats.cpp.o"
+  "CMakeFiles/sq_tensor.dir/stats.cpp.o.d"
+  "CMakeFiles/sq_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/sq_tensor.dir/tensor.cpp.o.d"
+  "libsq_tensor.a"
+  "libsq_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sq_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/datasets.cpp" "src/workload/CMakeFiles/sq_workload.dir/datasets.cpp.o" "gcc" "src/workload/CMakeFiles/sq_workload.dir/datasets.cpp.o.d"
+  "/root/repo/src/workload/profile.cpp" "src/workload/CMakeFiles/sq_workload.dir/profile.cpp.o" "gcc" "src/workload/CMakeFiles/sq_workload.dir/profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/sq_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/sq_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/sq_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/sq_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sq_workload.dir/datasets.cpp.o"
+  "CMakeFiles/sq_workload.dir/datasets.cpp.o.d"
+  "CMakeFiles/sq_workload.dir/profile.cpp.o"
+  "CMakeFiles/sq_workload.dir/profile.cpp.o.d"
+  "libsq_workload.a"
+  "libsq_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sq_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

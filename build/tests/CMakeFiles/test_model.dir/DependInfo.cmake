@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/layer_stats_test.cpp" "tests/CMakeFiles/test_model.dir/layer_stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/layer_stats_test.cpp.o.d"
+  "/root/repo/tests/llm_test.cpp" "tests/CMakeFiles/test_model.dir/llm_test.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/llm_test.cpp.o.d"
+  "/root/repo/tests/registry_test.cpp" "tests/CMakeFiles/test_model.dir/registry_test.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/registry_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/sq_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/quality/CMakeFiles/sq_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sq_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/sq_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/sq_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sq_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/sq_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/sq_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/sq_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sq_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quant.dir/gptq_test.cpp.o"
+  "CMakeFiles/test_quant.dir/gptq_test.cpp.o.d"
+  "CMakeFiles/test_quant.dir/indicator_test.cpp.o"
+  "CMakeFiles/test_quant.dir/indicator_test.cpp.o.d"
+  "CMakeFiles/test_quant.dir/qtensor_test.cpp.o"
+  "CMakeFiles/test_quant.dir/qtensor_test.cpp.o.d"
+  "CMakeFiles/test_quant.dir/quantizer_test.cpp.o"
+  "CMakeFiles/test_quant.dir/quantizer_test.cpp.o.d"
+  "test_quant"
+  "test_quant.pdb"
+  "test_quant[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/kernel_model_test.cpp.o"
+  "CMakeFiles/test_sim.dir/kernel_model_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/memory_test.cpp.o"
+  "CMakeFiles/test_sim.dir/memory_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/pipeline_test.cpp.o"
+  "CMakeFiles/test_sim.dir/pipeline_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/plan_io_test.cpp.o"
+  "CMakeFiles/test_sim.dir/plan_io_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/plan_test.cpp.o"
+  "CMakeFiles/test_sim.dir/plan_test.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
