@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,14 @@ struct Cell {
   }
 };
 
+/// Planner worker threads for the benches: SQ_THREADS env var if set,
+/// otherwise 0 (hardware concurrency).  The chosen plans are identical for
+/// every thread count, so this only moves wall-clock time.
+inline int bench_threads() {
+  const char* env = std::getenv("SQ_THREADS");
+  return env != nullptr ? std::atoi(env) : 0;
+}
+
 /// Default planner knobs used across benches (fast enough for the sweep;
 /// Table VI raises the limits deliberately).
 inline sq::core::PlannerConfig bench_config() {
@@ -66,6 +75,7 @@ inline sq::core::PlannerConfig bench_config() {
   cfg.max_microbatch_pairs = 2;
   cfg.max_topologies = 8;
   cfg.group_size = 8;
+  cfg.num_threads = bench_threads();
   return cfg;
 }
 

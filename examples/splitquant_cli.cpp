@@ -12,6 +12,8 @@
 //   --theta <float>     quality scalar (default 10)
 //   --batch <n>         max concurrent requests (default 128)
 //   --requests <n>      requests to sample/serve (default 256)
+//   --threads <n>       planner worker threads (0 = hardware concurrency,
+//                       1 = sequential; the plan is identical either way)
 //   --custom-backend    enable INT3 / custom-backend efficiency
 //   --heuristic         bitwidth transfer instead of the ILP
 //   --serve             run the serving simulation after planning
@@ -42,6 +44,7 @@ struct Args {
   double theta = 10.0;
   std::uint64_t batch = 128;
   int requests = 256;
+  int threads = 0;
   bool custom_backend = false;
   bool heuristic = false;
   bool serve = false;
@@ -67,6 +70,7 @@ bool parse(int argc, char** argv, Args* out) {
     else if (a == "--theta") out->theta = std::atof(next("--theta"));
     else if (a == "--batch") out->batch = std::strtoull(next("--batch"), nullptr, 10);
     else if (a == "--requests") out->requests = std::atoi(next("--requests"));
+    else if (a == "--threads") out->threads = std::atoi(next("--threads"));
     else if (a == "--custom-backend") out->custom_backend = true;
     else if (a == "--heuristic") out->heuristic = true;
     else if (a == "--serve") out->serve = true;
@@ -133,6 +137,7 @@ int main(int argc, char** argv) {
   cfg.theta = args.theta;
   cfg.custom_backend = args.custom_backend;
   cfg.use_heuristic = args.heuristic;
+  cfg.num_threads = args.threads;
 
   core::PlanResult r;
   if (!args.load_plan.empty()) {

@@ -4,7 +4,10 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <optional>
 
+#include "common/thread_pool.h"
 #include "core/heuristics.h"
 #include "core/ilp.h"
 #include "model/layer_stats.h"
@@ -16,6 +19,40 @@ namespace sq::core {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Pool for the candidate fan-out; null means run inline (sequential).
+std::unique_ptr<sq::common::ThreadPool> make_pool(int num_threads) {
+  const int n = sq::common::resolve_threads(num_threads);
+  return n > 1 ? std::make_unique<sq::common::ThreadPool>(n) : nullptr;
+}
+
+/// The shared stage-time cache of the validation simulator is part of the
+/// parallel search machinery; `num_threads == 1` asks for the legacy
+/// sequential path, which recomputes everything.  Either way the values —
+/// and therefore the chosen plan — are bit-for-bit identical.
+bool memoize_of(const PlannerConfig& cfg) { return cfg.num_threads != 1; }
+
+/// Per-task winner of a baseline sweep, reduced across tasks in
+/// enumeration order so ties resolve exactly as the sequential loops did.
+struct SweepBest {
+  double obj = std::numeric_limits<double>::infinity();
+  std::size_t input = 0;
+  std::size_t topo = 0;
+  std::uint64_t eta = 0;
+  std::uint64_t xi = 0;
+  HeuristicPlan hp;
+};
+
+/// Widest-first permutation of the bit indices.
+std::vector<int> widest_first_order(const std::vector<sq::hw::Bitwidth>& bits) {
+  std::vector<int> order(bits.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return sq::hw::bits(bits[static_cast<std::size_t>(a)]) >
+           sq::hw::bits(bits[static_cast<std::size_t>(b)]);
+  });
+  return order;
+}
 
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
@@ -215,36 +252,62 @@ PlanResult Planner::plan(const PlannerConfig& cfg) const {
   const auto topologies =
       enumerate_topologies(cluster_, cfg.allow_tp, cfg.max_topologies);
 
+  const auto pool = make_pool(cfg.num_threads);
+
   // Stage 1: greedy-score every (batch, topology, eta, xi) candidate.
   // Across batch sizes, objectives are compared per-request:
   // (latency + theta * omega) / B — the throughput-fair normalization.
+  // Candidates are enumerated up front and evaluated into per-index slots,
+  // then compacted in enumeration order: `order` is the same stable index
+  // the sequential loop nest would have assigned, and every later sort and
+  // reduction tie-breaks on it, so the winning plan is independent of the
+  // thread count.
   struct Candidate {
     std::size_t input;
     std::size_t topo;
     std::uint64_t eta, xi;
     HeuristicPlan seed;
     double norm_obj;
+    std::size_t order;  ///< Stable enumeration index (tie-break key).
   };
   auto normalized = [&](const AssignmentEval& ev, std::size_t input_i) {
     return ev.objective /
            static_cast<double>(inputs[input_i].workload.batch_size);
   };
-  std::vector<Candidate> cands;
+  auto ctx_of = [&](const Candidate& c) {
+    return PlanContext(inputs[c.input], topologies[c.topo], c.eta, c.xi,
+                       cfg.group_size);
+  };
+
+  struct Desc {
+    std::size_t input, topo;
+    std::uint64_t eta, xi;
+  };
+  std::vector<Desc> descs;
   for (std::size_t ii = 0; ii < inputs.size(); ++ii) {
     const std::uint64_t batch = inputs[ii].workload.batch_size;
     const auto etas = microbatch_candidates(std::min<std::uint64_t>(batch, 64));
     const auto xis = microbatch_candidates(batch);
     for (std::size_t ti = 0; ti < topologies.size(); ++ti) {
       for (const auto eta : etas) {
-        for (const auto xi : xis) {
-          const PlanContext ctx(inputs[ii], topologies[ti], eta, xi, cfg.group_size);
-          auto g = greedy_plan(ctx);
-          if (!g) continue;
-          const double obj = normalized(g->eval, ii);
-          cands.push_back({ii, ti, eta, xi, std::move(*g), obj});
-        }
+        for (const auto xi : xis) descs.push_back({ii, ti, eta, xi});
       }
     }
+  }
+  std::vector<std::optional<HeuristicPlan>> seeds(descs.size());
+  sq::common::parallel_for(pool.get(), descs.size(), [&](std::size_t i) {
+    const Desc& d = descs[i];
+    const PlanContext ctx(inputs[d.input], topologies[d.topo], d.eta, d.xi,
+                          cfg.group_size);
+    seeds[i] = greedy_plan(ctx);
+  });
+  std::vector<Candidate> cands;
+  for (std::size_t i = 0; i < descs.size(); ++i) {
+    if (!seeds[i]) continue;
+    const Desc& d = descs[i];
+    const double obj = normalized(seeds[i]->eval, d.input);
+    cands.push_back(
+        {d.input, d.topo, d.eta, d.xi, std::move(*seeds[i]), obj, cands.size()});
   }
   result.topologies_tried = static_cast<int>(topologies.size());
   if (cands.empty()) {
@@ -253,31 +316,33 @@ PlanResult Planner::plan(const PlannerConfig& cfg) const {
     return result;
   }
   auto by_norm = [](const Candidate& a, const Candidate& b) {
-    return a.norm_obj < b.norm_obj;
+    if (a.norm_obj != b.norm_obj) return a.norm_obj < b.norm_obj;
+    return a.order < b.order;
   };
   std::sort(cands.begin(), cands.end(), by_norm);
 
   // Stage 2: refine the most promising candidates with adabits + bitwidth
-  // transfer.
+  // transfer.  Each task touches only its own candidate slot.
   const int refine_k = std::min<int>(static_cast<int>(cands.size()),
                                      std::max(4, 2 * cfg.max_microbatch_pairs));
-  for (int i = 0; i < refine_k; ++i) {
-    auto& c = cands[static_cast<std::size_t>(i)];
-    const PlanContext ctx(inputs[c.input], topologies[c.topo], c.eta, c.xi,
-                          cfg.group_size);
-    auto a = adabits_plan(ctx);
-    HeuristicPlan refined = bitwidth_transfer(
-        ctx, a && a->eval.objective < c.seed.eval.objective ? *a : c.seed);
-    if (refined.eval.feasible &&
-        normalized(refined.eval, c.input) < c.norm_obj) {
-      c.seed = std::move(refined);
-      c.norm_obj = normalized(c.seed.eval, c.input);
-    }
-    ++result.pairs_tried;
-  }
+  sq::common::parallel_for(
+      pool.get(), static_cast<std::size_t>(refine_k), [&](std::size_t i) {
+        auto& c = cands[i];
+        const PlanContext ctx = ctx_of(c);
+        auto a = adabits_plan(ctx);
+        HeuristicPlan refined = bitwidth_transfer(
+            ctx, a && a->eval.objective < c.seed.eval.objective ? *a : c.seed);
+        if (refined.eval.feasible &&
+            normalized(refined.eval, c.input) < c.norm_obj) {
+          c.seed = std::move(refined);
+          c.norm_obj = normalized(c.seed.eval, c.input);
+        }
+      });
+  result.pairs_tried += refine_k;
   std::sort(cands.begin(), cands.end(), by_norm);
 
   // Stage 3: exact ILP on the top candidates (unless heuristic mode).
+  // Solves fan out; the reduction walks the outcomes in candidate order.
   std::size_t best_i = 0;
   HeuristicPlan best = cands.front().seed;
   double best_norm = cands.front().norm_obj;
@@ -286,11 +351,15 @@ PlanResult Planner::plan(const PlannerConfig& cfg) const {
     opts.time_limit_s = cfg.ilp_time_limit_s;
     const int solve_k =
         std::min<int>(static_cast<int>(cands.size()), cfg.max_microbatch_pairs);
+    std::vector<IlpOutcome> outs(static_cast<std::size_t>(solve_k));
+    sq::common::parallel_for(
+        pool.get(), static_cast<std::size_t>(solve_k), [&](std::size_t i) {
+          const auto& c = cands[i];
+          outs[i] = solve_ilp(ctx_of(c), c.seed, opts);
+        });
     for (int i = 0; i < solve_k; ++i) {
       auto& c = cands[static_cast<std::size_t>(i)];
-      const PlanContext ctx(inputs[c.input], topologies[c.topo], c.eta, c.xi,
-                            cfg.group_size);
-      const auto out = solve_ilp(ctx, c.seed, opts);
+      const auto& out = outs[static_cast<std::size_t>(i)];
       ++result.ilp_solves;
       result.ilp_nodes += out.nodes;
       if (out.feasible && normalized(out.plan.eval, c.input) < c.norm_obj) {
@@ -308,25 +377,30 @@ PlanResult Planner::plan(const PlannerConfig& cfg) const {
   // Stage 4: profiling validation run.  Near-ties under the cost model are
   // settled by simulating the top finalists on the planning batch (a short
   // calibration run in a real deployment) and keeping the highest
-  // simulated throughput.
+  // simulated throughput.  Scores land in per-index slots; the argmin scan
+  // runs in candidate order (strict <, first wins) for determinism.
   if (cfg.validate_top_k > 1 && cands.size() > 1) {
     std::sort(cands.begin(), cands.end(), by_norm);
     best = cands.front().seed;
     best_i = 0;
-    double best_score = std::numeric_limits<double>::infinity();
     const int check_k =
         std::min<int>(static_cast<int>(cands.size()), cfg.validate_top_k);
+    std::vector<double> scores(static_cast<std::size_t>(check_k));
+    sq::common::parallel_for(
+        pool.get(), static_cast<std::size_t>(check_k), [&](std::size_t i) {
+          const auto& c = cands[i];
+          const PlanContext ctx = ctx_of(c);
+          const auto plan =
+              ctx.to_plan(c.seed.group_stage, c.seed.group_bit, "probe");
+          const std::uint64_t b = inputs[c.input].workload.batch_size;
+          scores[i] = validation_score(plan, b, cfg.theta, c.seed.eval.omega,
+                                       memoize_of(cfg));
+        });
+    double best_score = std::numeric_limits<double>::infinity();
     for (int i = 0; i < check_k; ++i) {
-      const auto& c = cands[static_cast<std::size_t>(i)];
-      const PlanContext ctx(inputs[c.input], topologies[c.topo], c.eta, c.xi,
-                            cfg.group_size);
-      const auto plan = ctx.to_plan(c.seed.group_stage, c.seed.group_bit, "probe");
-      const std::uint64_t b = inputs[c.input].workload.batch_size;
-      const double score =
-          validation_score(plan, b, cfg.theta, c.seed.eval.omega);
-      if (score < best_score) {
-        best_score = score;
-        best = c.seed;
+      if (scores[static_cast<std::size_t>(i)] < best_score) {
+        best_score = scores[static_cast<std::size_t>(i)];
+        best = cands[static_cast<std::size_t>(i)].seed;
         best_i = static_cast<std::size_t>(i);
       }
     }
@@ -345,8 +419,8 @@ PlanResult Planner::plan(const PlannerConfig& cfg) const {
   // SplitQuant's own search space; if cost-model error ranked them below
   // the chosen plan but the profiling run says otherwise, adopt them.
   if (cfg.validate_top_k > 1) {
-    double chosen =
-        validation_score(r.plan, r.planned_batch, cfg.theta, r.total_omega);
+    double chosen = validation_score(r.plan, r.planned_batch, cfg.theta,
+                                     r.total_omega, memoize_of(cfg));
     for (const PlanResult& alt :
          {plan_uniform(cfg), plan_het(cfg), plan_adabits(cfg)}) {
       if (!alt.feasible) continue;
@@ -355,7 +429,7 @@ PlanResult Planner::plan(const PlannerConfig& cfg) const {
         continue;  // would violate the quality budget
       }
       const double t = validation_score(alt.plan, alt.planned_batch, cfg.theta,
-                                        alt.total_omega);
+                                        alt.total_omega, memoize_of(cfg));
       if (t < chosen * (1.0 - 1e-9)) {
         chosen = t;
         r.plan = alt.plan;
@@ -376,12 +450,14 @@ PlanResult Planner::plan(const PlannerConfig& cfg) const {
 }
 
 double Planner::validation_score(const sq::sim::ExecutionPlan& plan,
-                                 std::uint64_t batch, double theta,
-                                 double omega) const {
+                                 std::uint64_t batch, double theta, double omega,
+                                 bool memoize) const {
   // Run the plan through the actual serving engine (wave capping and
   // per-wave micro-batch clamping included) on two calibration shapes:
   // the planning batch and a half-prompt variant.
-  const sq::runtime::OfflineEngine engine(cluster_, model_, plan);
+  const sq::runtime::OfflineEngine engine(
+      cluster_, model_, plan, sq::runtime::Backend::kVllmStyle,
+      {.ground_truth = true, .seed = 11}, memoize);
   std::vector<sq::sim::BatchWorkload> batches;
   for (const double frac : {1.5, 1.0, 0.55}) {
     sq::sim::BatchWorkload w = workload_;
@@ -418,42 +494,52 @@ PlanResult Planner::plan_uniform(const PlannerConfig& cfg) const {
   for (const auto b : batches) inputs.push_back(make_inputs(base, b));
   const auto topologies = natural_topologies(cluster_, cfg.allow_tp);
 
-  // Widest-first bit order.
-  std::vector<int> order(inputs.front().bits.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
-  std::sort(order.begin(), order.end(), [&](int a, int b) {
-    return sq::hw::bits(inputs.front().bits[static_cast<std::size_t>(a)]) >
-           sq::hw::bits(inputs.front().bits[static_cast<std::size_t>(b)]);
-  });
+  const auto order = widest_first_order(inputs.front().bits);
 
-  double best_obj = std::numeric_limits<double>::infinity();
-  for (const auto& in : inputs) {
+  // One task per (batch candidate, topology); the bit / micro-batch loops
+  // inside each task keep the sequential enumeration order, and the
+  // cross-task reduction walks tasks in that same order.
+  const std::size_t n_tasks = inputs.size() * topologies.size();
+  std::vector<std::optional<SweepBest>> task_best(n_tasks);
+  const auto pool = make_pool(cfg.num_threads);
+  sq::common::parallel_for(pool.get(), n_tasks, [&](std::size_t task) {
+    const std::size_t ii = task / topologies.size();
+    const std::size_t ti = task % topologies.size();
+    const auto& in = inputs[ii];
     const std::uint64_t batch = in.workload.batch_size;
     const auto etas = microbatch_candidates(std::min<std::uint64_t>(batch, 64));
     const auto xis = microbatch_candidates(batch);
-    for (const auto& topo : topologies) {
-      for (const int bi : order) {
-        bool fits_somewhere = false;
-        for (const auto eta : etas) {
-          for (const auto xi : xis) {
-            const PlanContext ctx(in, topo, eta, xi, cfg.group_size);
-            HeuristicPlan hp;
-            hp.group_stage = even_partition(ctx);
-            hp.group_bit.assign(static_cast<std::size_t>(ctx.num_groups()), bi);
-            hp.eval = ctx.evaluate(hp.group_stage, hp.group_bit);
-            if (!hp.eval.feasible) continue;
-            fits_somewhere = true;
-            const double obj = hp.eval.objective / static_cast<double>(batch);
-            if (obj < best_obj) {
-              best_obj = obj;
-              result = finalize(ctx, hp, "uniform", seconds_since(t0));
-            }
+    std::optional<SweepBest> local;
+    for (const int bi : order) {
+      bool fits_somewhere = false;
+      for (const auto eta : etas) {
+        for (const auto xi : xis) {
+          const PlanContext ctx(in, topologies[ti], eta, xi, cfg.group_size);
+          HeuristicPlan hp;
+          hp.group_stage = even_partition(ctx);
+          hp.group_bit.assign(static_cast<std::size_t>(ctx.num_groups()), bi);
+          hp.eval = ctx.evaluate(hp.group_stage, hp.group_bit);
+          if (!hp.eval.feasible) continue;
+          fits_somewhere = true;
+          const double obj = hp.eval.objective / static_cast<double>(batch);
+          if (!local || obj < local->obj) {
+            local = SweepBest{obj, ii, ti, eta, xi, std::move(hp)};
           }
         }
-        // The paper's Uniform lowers precision only until the model fits.
-        if (fits_somewhere) break;
       }
+      // The paper's Uniform lowers precision only until the model fits.
+      if (fits_somewhere) break;
     }
+    task_best[task] = std::move(local);
+  });
+  std::optional<SweepBest> best;
+  for (auto& tb : task_best) {
+    if (tb && (!best || tb->obj < best->obj)) best = std::move(*tb);
+  }
+  if (best) {
+    const PlanContext ctx(inputs[best->input], topologies[best->topo], best->eta,
+                          best->xi, cfg.group_size);
+    result = finalize(ctx, best->hp, "uniform", seconds_since(t0));
   }
   result.solve_seconds = seconds_since(t0);
   return result;
@@ -473,42 +559,50 @@ PlanResult Planner::plan_het(const PlannerConfig& cfg) const {
   const auto topologies =
       enumerate_topologies(cluster_, cfg.allow_tp, cfg.max_topologies);
 
-  std::vector<int> order(inputs.front().bits.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
-  std::sort(order.begin(), order.end(), [&](int a, int b) {
-    return sq::hw::bits(inputs.front().bits[static_cast<std::size_t>(a)]) >
-           sq::hw::bits(inputs.front().bits[static_cast<std::size_t>(b)]);
-  });
+  const auto order = widest_first_order(inputs.front().bits);
 
-  double best_obj = std::numeric_limits<double>::infinity();
-  for (const auto& in : inputs) {
+  const std::size_t n_tasks = inputs.size() * topologies.size();
+  std::vector<std::optional<SweepBest>> task_best(n_tasks);
+  const auto pool = make_pool(cfg.num_threads);
+  sq::common::parallel_for(pool.get(), n_tasks, [&](std::size_t task) {
+    const std::size_t ii = task / topologies.size();
+    const std::size_t ti = task % topologies.size();
+    const auto& in = inputs[ii];
     const std::uint64_t batch = in.workload.batch_size;
     const auto etas = microbatch_candidates(std::min<std::uint64_t>(batch, 64));
     const auto xis = microbatch_candidates(batch);
-    for (const auto& topo : topologies) {
-      for (const int bi : order) {
-        bool fits_somewhere = false;
-        for (const auto eta : etas) {
-          for (const auto xi : xis) {
-            const PlanContext ctx(in, topo, eta, xi, cfg.group_size);
-            HeuristicPlan hp;
-            hp.group_stage =
-                balanced_partition(ctx, bi, PartitionMetric::kPrefillOnly);
-            if (hp.group_stage.empty()) continue;
-            hp.group_bit.assign(static_cast<std::size_t>(ctx.num_groups()), bi);
-            hp.eval = ctx.evaluate(hp.group_stage, hp.group_bit);
-            if (!hp.eval.feasible) continue;
-            fits_somewhere = true;
-            const double obj = hp.eval.objective / static_cast<double>(batch);
-            if (obj < best_obj) {
-              best_obj = obj;
-              result = finalize(ctx, hp, "het", seconds_since(t0));
-            }
+    std::optional<SweepBest> local;
+    for (const int bi : order) {
+      bool fits_somewhere = false;
+      for (const auto eta : etas) {
+        for (const auto xi : xis) {
+          const PlanContext ctx(in, topologies[ti], eta, xi, cfg.group_size);
+          HeuristicPlan hp;
+          hp.group_stage =
+              balanced_partition(ctx, bi, PartitionMetric::kPrefillOnly);
+          if (hp.group_stage.empty()) continue;
+          hp.group_bit.assign(static_cast<std::size_t>(ctx.num_groups()), bi);
+          hp.eval = ctx.evaluate(hp.group_stage, hp.group_bit);
+          if (!hp.eval.feasible) continue;
+          fits_somewhere = true;
+          const double obj = hp.eval.objective / static_cast<double>(batch);
+          if (!local || obj < local->obj) {
+            local = SweepBest{obj, ii, ti, eta, xi, std::move(hp)};
           }
         }
-        if (fits_somewhere) break;
       }
+      if (fits_somewhere) break;
     }
+    task_best[task] = std::move(local);
+  });
+  std::optional<SweepBest> best;
+  for (auto& tb : task_best) {
+    if (tb && (!best || tb->obj < best->obj)) best = std::move(*tb);
+  }
+  if (best) {
+    const PlanContext ctx(inputs[best->input], topologies[best->topo], best->eta,
+                          best->xi, cfg.group_size);
+    result = finalize(ctx, best->hp, "het", seconds_since(t0));
   }
   result.solve_seconds = seconds_since(t0);
   return result;
@@ -525,25 +619,38 @@ PlanResult Planner::plan_adabits(const PlannerConfig& cfg) const {
   const auto topologies =
       enumerate_topologies(cluster_, cfg.allow_tp, cfg.max_topologies);
 
-  double best_obj = std::numeric_limits<double>::infinity();
-  for (const auto& in : inputs) {
+  const std::size_t n_tasks = inputs.size() * topologies.size();
+  std::vector<std::optional<SweepBest>> task_best(n_tasks);
+  const auto pool = make_pool(cfg.num_threads);
+  sq::common::parallel_for(pool.get(), n_tasks, [&](std::size_t task) {
+    const std::size_t ii = task / topologies.size();
+    const std::size_t ti = task % topologies.size();
+    const auto& in = inputs[ii];
     const std::uint64_t batch = in.workload.batch_size;
     const auto etas = microbatch_candidates(std::min<std::uint64_t>(batch, 64));
     const auto xis = microbatch_candidates(batch);
-    for (const auto& topo : topologies) {
-      for (const auto eta : etas) {
-        for (const auto xi : xis) {
-          const PlanContext ctx(in, topo, eta, xi, cfg.group_size);
-          const auto a = adabits_plan(ctx);
-          if (!a) continue;
-          const double obj = a->eval.objective / static_cast<double>(batch);
-          if (obj < best_obj) {
-            best_obj = obj;
-            result = finalize(ctx, *a, "adabits", seconds_since(t0));
-          }
+    std::optional<SweepBest> local;
+    for (const auto eta : etas) {
+      for (const auto xi : xis) {
+        const PlanContext ctx(in, topologies[ti], eta, xi, cfg.group_size);
+        const auto a = adabits_plan(ctx);
+        if (!a) continue;
+        const double obj = a->eval.objective / static_cast<double>(batch);
+        if (!local || obj < local->obj) {
+          local = SweepBest{obj, ii, ti, eta, xi, *a};
         }
       }
     }
+    task_best[task] = std::move(local);
+  });
+  std::optional<SweepBest> best;
+  for (auto& tb : task_best) {
+    if (tb && (!best || tb->obj < best->obj)) best = std::move(*tb);
+  }
+  if (best) {
+    const PlanContext ctx(inputs[best->input], topologies[best->topo], best->eta,
+                          best->xi, cfg.group_size);
+    result = finalize(ctx, best->hp, "adabits", seconds_since(t0));
   }
   result.solve_seconds = seconds_since(t0);
   return result;

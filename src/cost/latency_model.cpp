@@ -5,7 +5,11 @@
 namespace sq::cost {
 
 LatencyCostModel::LatencyCostModel(const LlmSpec& m, ProfileConfig cfg)
-    : m_(m), cfg_(std::move(cfg)) {}
+    : m_(m),
+      cfg_(std::move(cfg)),
+      predict_cache_(
+          std::make_unique<
+              sq::common::MemoCache<PredictKey, double, PredictKeyHash>>()) {}
 
 std::vector<double> LatencyCostModel::prefill_features(std::uint64_t v,
                                                        std::uint64_t s) {
@@ -80,10 +84,25 @@ double LatencyCostModel::predict_layer_us(GpuType t, Phase phase, std::uint64_t 
   if (it == fits_.end()) {
     throw std::logic_error("LatencyCostModel: device/bitwidth not profiled");
   }
+  PredictKey key;
+  key.v = v;
+  key.s_or_ctx = s_or_ctx;
+  key.type_phase = (static_cast<std::uint32_t>(t) << 1) |
+                   static_cast<std::uint32_t>(phase == Phase::kPrefill);
+  key.bit_tp = (static_cast<std::uint32_t>(sq::hw::bits(b)) << 16) |
+               static_cast<std::uint32_t>(tp);
+  const LinearRegression& reg = it->second;
+  return predict_cache_->get_or_compute(
+      key, [&] { return predict_uncached(reg, phase, v, s_or_ctx); });
+}
+
+double LatencyCostModel::predict_uncached(const LinearRegression& reg, Phase phase,
+                                          std::uint64_t v,
+                                          std::uint64_t s_or_ctx) const {
   const auto f = phase == Phase::kPrefill ? prefill_features(v, s_or_ctx)
                                           : decode_features(v, s_or_ctx);
   // Latency cannot be negative; clamp tiny extrapolations.
-  const double pred = it->second.predict(f);
+  const double pred = reg.predict(f);
   return pred > 0.0 ? pred : 0.0;
 }
 

@@ -10,9 +10,11 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "common/memo_cache.h"
 #include "cost/regression.h"
 #include "hw/gpu.h"
 #include "model/llm.h"
@@ -60,6 +62,10 @@ class LatencyCostModel {
   /// The model being profiled.
   const LlmSpec& model() const { return m_; }
 
+  /// Hit/miss counters of the prediction memo cache.
+  std::uint64_t predict_cache_hits() const { return predict_cache_->hits(); }
+  std::uint64_t predict_cache_misses() const { return predict_cache_->misses(); }
+
  private:
   struct Key {
     GpuType type;
@@ -74,13 +80,38 @@ class LatencyCostModel {
     }
   };
 
+  /// Memoization key for predict_layer_us: (device, bitwidth, shape, tp).
+  struct PredictKey {
+    std::uint64_t v = 0;
+    std::uint64_t s_or_ctx = 0;
+    std::uint32_t type_phase = 0;  ///< (GpuType << 1) | prefill flag.
+    std::uint32_t bit_tp = 0;      ///< (bitwidth << 16) | tp degree.
+    bool operator==(const PredictKey&) const = default;
+  };
+  struct PredictKeyHash {
+    std::size_t operator()(const PredictKey& k) const {
+      std::uint64_t h = sq::common::hash_mix(k.v, k.s_or_ctx);
+      h = sq::common::hash_mix(h, (static_cast<std::uint64_t>(k.type_phase) << 32) |
+                                      k.bit_tp);
+      return static_cast<std::size_t>(h);
+    }
+  };
+
   static std::vector<double> prefill_features(std::uint64_t v, std::uint64_t s);
   static std::vector<double> decode_features(std::uint64_t v, std::uint64_t ctx);
+
+  double predict_uncached(const LinearRegression& reg, Phase phase,
+                          std::uint64_t v, std::uint64_t s_or_ctx) const;
 
   LlmSpec m_;
   ProfileConfig cfg_;
   std::map<Key, LinearRegression> fits_;
   std::size_t samples_ = 0;
+  /// Prediction memo: queries are pure per (device, bitwidth, shape, tp)
+  /// once the fit exists, and profile_device never refits an existing key,
+  /// so entries never go stale.  unique_ptr keeps the model copyable.
+  std::unique_ptr<sq::common::MemoCache<PredictKey, double, PredictKeyHash>>
+      predict_cache_;
 };
 
 }  // namespace sq::cost

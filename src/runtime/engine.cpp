@@ -8,12 +8,13 @@ namespace sq::runtime {
 
 OfflineEngine::OfflineEngine(sq::hw::Cluster cluster, sq::model::LlmSpec model,
                              sq::sim::ExecutionPlan plan, Backend backend,
-                             sq::sim::KernelModelOptions kernel)
+                             sq::sim::KernelModelOptions kernel, bool memoize)
     : cluster_(std::move(cluster)),
       model_(std::move(model)),
       plan_(std::move(plan)),
       backend_(backend),
-      kernel_(kernel) {}
+      kernel_(kernel),
+      memoize_(memoize) {}
 
 double OfflineEngine::backend_efficiency() const {
   // The custom PyTorch-native backend trades kernel polish for hardware
@@ -35,6 +36,7 @@ ServeStats OfflineEngine::serve(
   sq::sim::PipelineOptions opts;
   opts.kernel = kernel_;
   opts.backend_efficiency = backend_efficiency();
+  opts.memoize = memoize_;
 
   double bubble_sum = 0.0;
   for (const auto& batch : batches) {

@@ -44,10 +44,14 @@ struct ServeStats {
 /// The engine: binds (cluster, model, plan, backend).
 class OfflineEngine {
  public:
+  /// `memoize` toggles the shared stage-time cache of the simulator; it
+  /// never changes results, only wall-clock time (off = the legacy
+  /// recompute-everything path).
   OfflineEngine(sq::hw::Cluster cluster, sq::model::LlmSpec model,
                 sq::sim::ExecutionPlan plan, Backend backend = Backend::kVllmStyle,
                 sq::sim::KernelModelOptions kernel = {.ground_truth = true,
-                                                      .seed = 11});
+                                                      .seed = 11},
+                bool memoize = true);
 
   /// Serve a list of padded batches; returns aggregate statistics.
   ServeStats serve(const std::vector<sq::sim::BatchWorkload>& batches) const;
@@ -70,6 +74,7 @@ class OfflineEngine {
   sq::sim::ExecutionPlan plan_;
   Backend backend_;
   sq::sim::KernelModelOptions kernel_;
+  bool memoize_;
 };
 
 }  // namespace sq::runtime

@@ -11,6 +11,7 @@
 // this simulator (Fig. 8) instead of against itself.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "hw/cluster.h"
@@ -44,7 +45,25 @@ struct PipelineOptions {
   /// Efficiency discount of the custom PyTorch-native backend the paper
   /// built for legacy GPUs (Sec. V): 1.0 = vLLM-style optimized backend.
   double backend_efficiency = 1.0;
+  /// Memoize per-stage step times in a process-wide thread-safe cache.
+  /// Stage times are pure in (device, layer bitwidths, shape, options), so
+  /// caching never changes results bit-for-bit — it only removes repeated
+  /// evaluation across waves, calibration shapes and plan candidates.
+  bool memoize = true;
 };
+
+/// Counters of the process-wide stage-time memoization cache.
+struct StageCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::size_t entries = 0;
+};
+
+/// Counters of the shared stage-time cache (all simulations).
+StageCacheStats stage_cache_stats();
+
+/// Drop every cached stage time (test/bench isolation).
+void stage_cache_clear();
 
 /// Simulate serving one padded batch `w` of `m` on `cluster` under `plan`.
 /// The plan must be structurally valid (ExecutionPlan::validate).

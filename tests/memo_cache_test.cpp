@@ -1,0 +1,115 @@
+// Tests for the shared memoization cache: hit/miss accounting, bounded
+// eviction, exception safety, and correctness under concurrent access.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/memo_cache.h"
+
+namespace sq::common {
+namespace {
+
+TEST(MemoCache, ComputesOnceThenHits) {
+  MemoCache<int, int> cache;
+  int computed = 0;
+  const auto f = [&] {
+    ++computed;
+    return 42;
+  };
+  EXPECT_EQ(cache.get_or_compute(7, f), 42);
+  EXPECT_EQ(cache.get_or_compute(7, f), 42);
+  EXPECT_EQ(cache.get_or_compute(7, f), 42);
+  EXPECT_EQ(computed, 1);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(MemoCache, DistinctKeysComputeSeparately) {
+  MemoCache<int, int> cache;
+  for (int k = 0; k < 100; ++k) {
+    EXPECT_EQ(cache.get_or_compute(k, [k] { return k * 2; }), k * 2);
+  }
+  EXPECT_EQ(cache.size(), 100u);
+  EXPECT_EQ(cache.misses(), 100u);
+  // All hits on re-query.
+  for (int k = 0; k < 100; ++k) {
+    EXPECT_EQ(cache.get_or_compute(k, [] { return -1; }), k * 2);
+  }
+  EXPECT_EQ(cache.hits(), 100u);
+}
+
+TEST(MemoCache, EvictionBoundsEntryCount) {
+  // Tiny cap: per-shard cap resolves to 1, so the total entry count can
+  // never exceed the shard count no matter how many keys stream through.
+  MemoCache<int, int> cache(/*max_entries=*/64);
+  for (int k = 0; k < 10000; ++k) {
+    cache.get_or_compute(k, [k] { return k; });
+  }
+  EXPECT_LE(cache.size(), 64u);
+  // Values are still correct after eviction: recompute yields the same.
+  EXPECT_EQ(cache.get_or_compute(3, [] { return 3; }), 3);
+}
+
+TEST(MemoCache, ExceptionFromComputeCachesNothing) {
+  MemoCache<int, int> cache;
+  EXPECT_THROW(cache.get_or_compute(
+                   1, []() -> int { throw std::runtime_error("compute failed"); }),
+               std::runtime_error);
+  EXPECT_EQ(cache.size(), 0u);
+  // The key is still computable afterwards.
+  EXPECT_EQ(cache.get_or_compute(1, [] { return 11; }), 11);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(MemoCache, ClearResetsEntriesAndCounters) {
+  MemoCache<int, int> cache;
+  cache.get_or_compute(1, [] { return 1; });
+  cache.get_or_compute(1, [] { return 1; });
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(MemoCache, ConcurrentMixedAccessIsCorrect) {
+  MemoCache<std::uint64_t, std::uint64_t> cache;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kKeys = 257;  // shared across all threads
+  constexpr int kIters = 4000;
+  std::atomic<bool> wrong{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const std::uint64_t k =
+            (static_cast<std::uint64_t>(t) * 7919 + static_cast<std::uint64_t>(i)) %
+            kKeys;
+        const std::uint64_t v = cache.get_or_compute(k, [k] { return k * k + 1; });
+        if (v != k * k + 1) wrong.store(true);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(wrong.load());
+  EXPECT_LE(cache.size(), kKeys);
+  // Every call was either a hit or a miss; racing misses may double-count
+  // computes but never lose calls.
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_GE(cache.misses(), kKeys);
+}
+
+TEST(HashMix, SpreadsAndIsDeterministic) {
+  EXPECT_EQ(hash_mix(1, 2), hash_mix(1, 2));
+  EXPECT_NE(hash_mix(1, 2), hash_mix(2, 1));
+  EXPECT_NE(hash_mix(0, 1), hash_mix(0, 2));
+}
+
+}  // namespace
+}  // namespace sq::common

@@ -152,5 +152,44 @@ TEST_F(PipelineFixture, DeterministicAcrossRuns) {
   EXPECT_EQ(a.total_us, b.total_us);
 }
 
+TEST_F(PipelineFixture, StageTimeMemoizationIsBitExact) {
+  const auto p = even_plan(m_, 4, Bitwidth::kInt4, 4, 8);
+  BatchWorkload w{16, 512, 32, 2048};
+  PipelineOptions cached;
+  cached.kernel.ground_truth = true;
+  PipelineOptions uncached = cached;
+  uncached.memoize = false;
+
+  stage_cache_clear();
+  const SimResult a = simulate_batch(c_, m_, p, w, uncached);
+  const SimResult b = simulate_batch(c_, m_, p, w, cached);   // fills cache
+  const SimResult c = simulate_batch(c_, m_, p, w, cached);   // pure hits
+  EXPECT_EQ(stage_cache_stats().misses, stage_cache_stats().entries);
+  EXPECT_GT(stage_cache_stats().hits, 0u);
+
+  for (const SimResult* r : {&b, &c}) {
+    EXPECT_EQ(a.prefill_us, r->prefill_us);
+    EXPECT_EQ(a.decode_us, r->decode_us);
+    EXPECT_EQ(a.total_us, r->total_us);
+    EXPECT_EQ(a.throughput_tok_s, r->throughput_tok_s);
+    EXPECT_EQ(a.stage_prefill_us, r->stage_prefill_us);
+    EXPECT_EQ(a.stage_decode_us, r->stage_decode_us);
+  }
+}
+
+TEST_F(PipelineFixture, StageCacheDistinguishesBitwidthAndShape) {
+  BatchWorkload w{16, 512, 32, 2048};
+  stage_cache_clear();
+  const SimResult a =
+      simulate_batch(c_, m_, even_plan(m_, 4, Bitwidth::kInt4, 4, 8), w);
+  const SimResult b =
+      simulate_batch(c_, m_, even_plan(m_, 4, Bitwidth::kInt8, 4, 8), w);
+  EXPECT_NE(a.total_us, b.total_us);
+  BatchWorkload w2{16, 768, 32, 2048};
+  const SimResult c =
+      simulate_batch(c_, m_, even_plan(m_, 4, Bitwidth::kInt4, 4, 8), w2);
+  EXPECT_NE(a.total_us, c.total_us);
+}
+
 }  // namespace
 }  // namespace sq::sim

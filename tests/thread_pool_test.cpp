@@ -1,0 +1,138 @@
+// Tests for the planner's worker pool: result delivery, exception
+// propagation through futures and parallel_for, and the sequential
+// fallback paths.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace sq::common {
+namespace {
+
+TEST(ResolveThreads, ZeroMeansHardwareConcurrency) {
+  const int n = resolve_threads(0);
+  EXPECT_GE(n, 1);
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0) {
+    EXPECT_EQ(n, static_cast<int>(hw));
+  }
+}
+
+TEST(ResolveThreads, ExplicitCountsPassThrough) {
+  EXPECT_EQ(resolve_threads(1), 1);
+  EXPECT_EQ(resolve_threads(7), 7);
+  EXPECT_EQ(resolve_threads(-3), 1);  // floored
+}
+
+TEST(ThreadPool, SubmitReturnsResults) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::future<int>> futs;
+  for (int i = 0; i < 64; ++i) {
+    futs.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(futs[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, TasksActuallyRunOnWorkers) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 32; ++i) {
+    futs.push_back(pool.submit([&ran] { ran.fetch_add(1); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionsThroughFuture) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(
+      {
+        try {
+          fut.get();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "boom");
+          throw;
+        }
+      },
+      std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 16; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1); });
+    }
+  }  // ~ThreadPool joins; every submitted task must have run.
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ParallelFor, CoversEveryIndexWithPool) {
+  ThreadPool pool(4);
+  std::vector<int> out(1000, 0);
+  parallel_for(&pool, out.size(), [&](std::size_t i) {
+    out[i] = static_cast<int>(i);
+  });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i));
+  }
+}
+
+TEST(ParallelFor, NullPoolRunsInlineInOrder) {
+  std::vector<std::size_t> order;
+  parallel_for(nullptr, 10, [&](std::size_t i) { order.push_back(i); });
+  std::vector<std::size_t> expect(10);
+  std::iota(expect.begin(), expect.end(), 0u);
+  EXPECT_EQ(order, expect);
+}
+
+TEST(ParallelFor, ZeroIterationsIsANoOp) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for(&pool, 0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, RethrowsLowestIndexedException) {
+  ThreadPool pool(4);
+  // Two failing indices far apart: the chunk containing the lower index
+  // must win, regardless of completion order.
+  const auto run = [&] {
+    parallel_for(&pool, 100, [](std::size_t i) {
+      if (i == 13 || i == 97) {
+        throw std::runtime_error("idx " + std::to_string(i));
+      }
+    });
+  };
+  try {
+    run();
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "idx 13");
+  }
+}
+
+TEST(ParallelFor, ExceptionOnInlinePathPropagates) {
+  EXPECT_THROW(parallel_for(nullptr, 5,
+                            [](std::size_t i) {
+                              if (i == 2) throw std::logic_error("inline");
+                            }),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace sq::common
