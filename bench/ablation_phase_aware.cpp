@@ -41,8 +41,8 @@ double run_metric(const Cell& cell, PartitionMetric metric, int bit_index) {
 }  // namespace
 
 int main() {
-  std::printf("Ablation: phase-aware (combined) vs prefill-only partitioning\n");
-  sq::bench::rule(95);
+  sq::bench::table_banner(
+      95, "Ablation: phase-aware (combined) vs prefill-only partitioning");
   std::printf("%-10s %-12s %-14s %14s %14s %9s\n", "cluster", "model", "workload",
               "prefill-only", "phase-aware", "gain");
 

@@ -3,7 +3,6 @@
 // prompt 512 per the DeepSpeed-style setup.  Uniform frequently OOMs;
 // speedups are reported against the Het baseline (red numbers in the
 // paper).  "0" marks OOM.
-#include <cmath>
 #include <cstdio>
 #include <vector>
 
@@ -25,13 +24,12 @@ const Case kCases[] = {
 }  // namespace
 
 int main() {
-  std::printf("Fig. 10: custom backend, severe heterogeneity, batch 32 prompt 512\n");
-  sq::bench::rule(105);
+  sq::bench::table_banner(
+      105, "Fig. 10: custom backend, severe heterogeneity, batch 32 prompt 512");
   std::printf("%-10s %-12s %10s %10s %12s %9s   %s\n", "cluster", "model", "uniform",
               "het", "splitquant", "vs-het", "(0 = OOM)");
 
-  double geo = 0.0;
-  int n = 0;
+  sq::bench::GeoMean geo;
   for (const Case& c : kCases) {
     // DeepSpeed-paper-style synthetic workload: fixed 512-token prompts.
     std::vector<sq::workload::Request> reqs(64, sq::workload::Request{512, 32});
@@ -40,20 +38,18 @@ int main() {
     cfg.custom_backend = true;  // enables INT3 (paper Sec. VI-A)
     const auto row =
         sq::bench::run_schemes(cell, cfg, sq::runtime::Backend::kCustom);
-    const double vs_het = row.het > 0 ? row.splitquant / row.het : 0.0;
-    std::printf("%-10d %-12s %10.1f %10.1f %12.1f", c.cluster,
-                cell.model.name.c_str(), row.uniform, row.het, row.splitquant);
+    const double vs_het = sq::bench::ratio(row.splitquant, row.het);
+    sq::bench::print_scheme_cells(c.cluster, cell.model.name, row, 12);
     if (vs_het > 0) {
       std::printf(" %8.2fx\n", vs_het);
-      geo += std::log(vs_het);
-      ++n;
+      geo.add(vs_het);
     } else {
       std::printf(" %9s\n", row.splitquant > 0 ? "(het OOM)" : "-");
     }
   }
-  if (n > 0) {
+  if (geo.count() > 0) {
     std::printf("\ngeo-mean speedup vs Het: %.2fx (paper: ~2.08x mean, with "
-                "Uniform OOM in most cells)\n", std::exp(geo / n));
+                "Uniform OOM in most cells)\n", geo.value());
   }
   return 0;
 }

@@ -7,6 +7,10 @@
 // across settings (the planner's deterministic-reduction guarantee).
 //
 //   SQ_SPEEDUP_THREADS="1 2 4"  override the thread settings swept
+//   SQ_BENCH_SMOKE=1            fixed {1, 2} settings for the CI gate
+//   SQ_BENCH_JSON_DIR=<dir>     emit BENCH_plan_search_speedup.json; the
+//                               plans fingerprint is gated (must never
+//                               change), wall-clock columns are not
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -40,6 +44,7 @@ std::vector<int> thread_settings() {
     for (int v; in >> v;) out.push_back(v);
     if (!out.empty()) return out;
   }
+  if (sq::bench::bench_smoke()) return {1, 2};
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
   std::vector<int> out = {1};
   if (hw >= 2) out.push_back(2);
@@ -49,7 +54,8 @@ std::vector<int> thread_settings() {
 }
 
 /// One full scheme sweep over every case at `threads` workers; returns
-/// wall-clock seconds and appends each chosen plan's summary to `plans`.
+/// wall-clock seconds and appends each chosen plan's serialized form to
+/// `plans`.
 double sweep_once(int threads, std::vector<std::string>* plans) {
   double total = 0.0;
   for (const CaseDef& c : kCases) {
@@ -75,7 +81,8 @@ double sweep_once(int threads, std::vector<std::string>* plans) {
     total += std::chrono::duration<double>(t1 - t0).count();
 
     for (const auto* r : {&uni, &het, &sqr}) {
-      plans->push_back(r->feasible ? r->plan.summary(cell.cluster) : "infeasible");
+      plans->push_back(r->feasible ? sq::sim::plan_to_string(r->plan)
+                                   : "infeasible");
     }
   }
   return total;
@@ -91,6 +98,11 @@ int main() {
   sq::bench::rule(72);
   std::printf("%-12s %12s %12s   %s\n", "threads", "search(s)", "speedup", "");
 
+  sq::bench::BenchReport report("plan_search_speedup");
+  report.meta("smoke",
+              static_cast<std::int64_t>(sq::bench::bench_smoke() ? 1 : 0));
+  report.meta("cells", static_cast<std::int64_t>(std::size(kCases)));
+
   double base = 0.0;
   std::vector<std::string> base_plans;
   bool all_identical = true;
@@ -104,13 +116,24 @@ int main() {
       all_identical = false;
     }
     const auto ks = sq::sim::stage_cache_stats();
-    std::printf("%-12d %12.2f %11.2fx   stage cache %.1f%% hit\n", t, s, base / s,
-                ks.hits + ks.misses > 0
-                    ? 100.0 * static_cast<double>(ks.hits) /
-                          static_cast<double>(ks.hits + ks.misses)
-                    : 0.0);
+    const double hit_pct = ks.hits + ks.misses > 0
+                               ? 100.0 * static_cast<double>(ks.hits) /
+                                     static_cast<double>(ks.hits + ks.misses)
+                               : 0.0;
+    std::printf("%-12d %12.2f %11.2fx   stage cache %.1f%% hit\n", t, s,
+                base / s, hit_pct);
+
+    std::string all;
+    for (const auto& p : plans) all += p;
+    auto& row = report.add_row();
+    row["threads"] = static_cast<std::int64_t>(t);
+    row["search_s"] = s;  // wall-clock: recorded, never gated
+    row["stage_cache_hit_pct"] = hit_pct;
+    row["plans_fingerprint"] = sq::bench::fingerprint_text(all);
   }
   std::printf("plans identical across all thread settings: %s\n",
               all_identical ? "yes" : "NO (BUG)");
+  report.meta("plans_identical", static_cast<std::int64_t>(all_identical ? 1 : 0));
+  if (!report.write()) return 1;
   return all_identical ? 0 : 1;
 }

@@ -68,8 +68,8 @@ double uniform_with_shape(const Cell& cell, int tp, int pp, double* ppl_out) {
 }  // namespace
 
 int main() {
-  std::printf("Table IV: homogeneous clusters, CNN-DailyMail, vLLM backend\n");
-  sq::bench::rule(95);
+  sq::bench::table_banner(
+      95, "Table IV: homogeneous clusters, CNN-DailyMail, vLLM backend");
   std::printf("%-10s %-24s %-12s %-12s %12s %9s\n", "cluster", "model", "scheme",
               "config", "tput(tok/s)", "speedup");
 
@@ -111,7 +111,7 @@ int main() {
       const double t = cell.serve(het.plan);
       std::printf("%-10d %-24s %-12s %-12s %12.1f %8.2fx\n", c.cluster,
                   cell.model.name.c_str(), "Het", het.topology.c_str(), t,
-                  best_uniform > 0 ? t / best_uniform : 0.0);
+                  sq::bench::ratio(t, best_uniform));
     }
 
     sq::core::PlannerConfig scfg = cfg;
@@ -123,7 +123,7 @@ int main() {
       const double t = cell.serve(sqr.plan);
       std::printf("%-10d %-24s %-12s %-12s %12.1f %8.2fx\n", c.cluster,
                   cell.model.name.c_str(), "SplitQuant", "Optimal", t,
-                  best_uniform > 0 ? t / best_uniform : 0.0);
+                  sq::bench::ratio(t, best_uniform));
     } else {
       std::printf("%-10d %-24s %-12s %-12s %12s\n", c.cluster,
                   cell.model.name.c_str(), "SplitQuant", "-", "infeasible");

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json files from a bench run against committed baselines.
+
+Gate rules, keyed purely on field-name conventions (see bench/bench_util.h):
+
+  *_tok_s        simulated throughput — fail if it drops more than
+                 --tolerance (default 20%) below the baseline; increases
+                 never fail (the baseline just becomes stale and should be
+                 refreshed, see EXPERIMENTS.md)
+  *_fingerprint  plan identity — any change fails (the planner picked a
+                 different plan, which must be an intentional, reviewed
+                 change accompanied by a baseline refresh)
+
+Everything else (wall-clock seconds, cache hit rates, ppl) is informative
+only.  Rows are matched positionally; a row-count or schema change fails.
+
+Usage: python3 ci/check_bench_regression.py <run_dir> <baseline_dir> [--tolerance 0.2]
+"""
+import argparse
+import json
+import pathlib
+import sys
+
+SCHEMA = "splitquant.bench.v1"
+
+
+def load(path: pathlib.Path) -> dict:
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: schema {doc.get('schema')!r}, want {SCHEMA!r}")
+    return doc
+
+
+def row_label(row: dict, index: int) -> str:
+    keys = [str(row[k]) for k in ("workload", "cluster", "model", "threads")
+            if k in row]
+    return "/".join(keys) if keys else f"row[{index}]"
+
+
+def compare(name: str, run: dict, base: dict, tolerance: float) -> list:
+    failures = []
+    run_rows, base_rows = run.get("rows", []), base.get("rows", [])
+    if len(run_rows) != len(base_rows):
+        return [f"{name}: row count {len(run_rows)} != baseline {len(base_rows)}"]
+    for i, (r, b) in enumerate(zip(run_rows, base_rows)):
+        label = row_label(b, i)
+        for key, want in b.items():
+            if key not in r:
+                failures.append(f"{name} {label}: field {key!r} missing from run")
+                continue
+            got = r[key]
+            if key.endswith("_fingerprint") and got != want:
+                failures.append(
+                    f"{name} {label}: {key} changed {want!r} -> {got!r} "
+                    f"(plan changed; refresh ci/baselines if intentional)")
+            elif key.endswith("_tok_s") and isinstance(want, (int, float)):
+                if want > 0 and got < want * (1.0 - tolerance):
+                    failures.append(
+                        f"{name} {label}: {key} regressed {want:.1f} -> {got:.1f} "
+                        f"(>{tolerance:.0%} drop)")
+    return failures
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("run_dir", type=pathlib.Path)
+    ap.add_argument("baseline_dir", type=pathlib.Path)
+    ap.add_argument("--tolerance", type=float, default=0.2)
+    args = ap.parse_args()
+
+    baselines = sorted(args.baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"no baselines under {args.baseline_dir}", file=sys.stderr)
+        return 1
+    failures = []
+    for base_path in baselines:
+        run_path = args.run_dir / base_path.name
+        if not run_path.exists():
+            failures.append(f"{base_path.name}: not produced by this run")
+            continue
+        base, run = load(base_path), load(run_path)
+        file_failures = compare(base_path.name, run, base, args.tolerance)
+        failures.extend(file_failures)
+        print(f"{base_path.name}: {len(base.get('rows', []))} rows, "
+              f"{'OK' if not file_failures else 'FAIL'}")
+    for f in failures:
+        print(f"FAIL: {f}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

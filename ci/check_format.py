@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Blocking mechanical format gate for the C++ sources.
+
+clang-format availability varies across environments, so the *blocking* CI
+check is this dependency-free script; a clang-format diff against the
+committed .clang-format runs as a separate advisory step.  Checks, per file:
+
+  - no tab characters (2-space indentation everywhere)
+  - no trailing whitespace
+  - no CRLF line endings
+  - file ends with exactly one newline
+  - lines stay under the hard cap (ColumnLimit + slack for tables/URLs)
+
+Usage: python3 ci/check_format.py [root]
+Exit status 1 lists every violation; 0 when clean.
+"""
+import pathlib
+import sys
+
+ROOTS = ("src", "tests", "bench", "examples")
+SUFFIXES = {".h", ".cpp", ".cc", ".hpp"}
+HARD_LINE_CAP = 100  # .clang-format says 90; allow slack for aligned tables
+
+
+def check_file(path: pathlib.Path) -> list:
+    problems = []
+    raw = path.read_bytes()
+    if b"\r" in raw:
+        problems.append(f"{path}: CRLF line endings")
+    if b"\t" in raw:
+        first = raw[: raw.index(b"\t")].count(b"\n") + 1
+        problems.append(f"{path}:{first}: tab character (use spaces)")
+    if raw and not raw.endswith(b"\n"):
+        problems.append(f"{path}: missing final newline")
+    if raw.endswith(b"\n\n"):
+        problems.append(f"{path}: multiple trailing newlines")
+    for i, line in enumerate(raw.split(b"\n"), start=1):
+        if line != line.rstrip():
+            problems.append(f"{path}:{i}: trailing whitespace")
+        if len(line) > HARD_LINE_CAP:
+            problems.append(f"{path}:{i}: line longer than {HARD_LINE_CAP} chars")
+    return problems
+
+
+def main() -> int:
+    repo = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else pathlib.Path(".")
+    problems = []
+    n_files = 0
+    for root in ROOTS:
+        for path in sorted((repo / root).rglob("*")):
+            if path.suffix in SUFFIXES and path.is_file():
+                n_files += 1
+                problems.extend(check_file(path))
+    for p in problems:
+        print(p)
+    print(f"checked {n_files} files: "
+          f"{'OK' if not problems else f'{len(problems)} problem(s)'}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,14 +19,22 @@
 //   --serve             run the serving simulation after planning
 //   --save-plan <file>  write the chosen plan to a file
 //   --load-plan <file>  skip planning, execute a previously saved plan
+//   --metrics <file>    enable the observability layer and write its JSON
+//                       export (planner counters, cache hit rates, serving
+//                       spans on the simulated clock) to <file>; a human
+//                       summary is printed to stdout.  Metrics never change
+//                       the chosen plan or the serving stats.
 //   --list-models       print the model registry and exit
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <string>
 
 #include "core/planner.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "sim/plan_io.h"
 #include "hw/paper_clusters.h"
 #include "model/registry.h"
@@ -51,6 +59,7 @@ struct Args {
   bool list_models = false;
   std::string save_plan;
   std::string load_plan;
+  std::string metrics;
 };
 
 bool parse(int argc, char** argv, Args* out) {
@@ -76,6 +85,7 @@ bool parse(int argc, char** argv, Args* out) {
     else if (a == "--serve") out->serve = true;
     else if (a == "--save-plan") out->save_plan = next("--save-plan");
     else if (a == "--load-plan") out->load_plan = next("--load-plan");
+    else if (a == "--metrics") out->metrics = next("--metrics");
     else if (a == "--list-models") out->list_models = true;
     else {
       std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
@@ -120,6 +130,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   const hw::Cluster cluster = hw::paper_cluster(args.cluster);
+
+  if (!args.metrics.empty()) obs::set_enabled(true);
 
   const auto requests =
       workload::sample(dataset_of(args.workload), args.requests, 1234);
@@ -195,10 +207,11 @@ int main(int argc, char** argv) {
               quality.base_ppl(), r.est_accuracy);
 
   if (args.serve) {
-    const runtime::OfflineEngine engine(
+    runtime::OfflineEngine engine(
         cluster, m, r.plan,
         args.custom_backend ? runtime::Backend::kCustom
                             : runtime::Backend::kVllmStyle);
+    engine.set_observe(!args.metrics.empty());
     const auto stats = engine.serve_requests(requests, args.batch);
     if (!stats.feasible) {
       std::printf("serve:    FAILED — %s\n", stats.failure.c_str());
@@ -209,6 +222,21 @@ int main(int argc, char** argv) {
                 stats.throughput_tok_s, stats.output_tokens, stats.total_seconds,
                 static_cast<unsigned long long>(stats.waves),
                 100.0 * stats.mean_bubble);
+  }
+
+  if (!args.metrics.empty()) {
+    const obs::Snapshot snap = obs::Registry::global().snapshot();
+    std::ofstream mout(args.metrics);
+    if (!mout) {
+      std::fprintf(stderr, "cannot write %s\n", args.metrics.c_str());
+      return 2;
+    }
+    obs::write_metrics_json(snap, mout);
+    std::printf("metrics:  %s (%zu counters, %zu gauges, %zu histograms, "
+                "%zu spans)\n",
+                args.metrics.c_str(), snap.counters.size(), snap.gauges.size(),
+                snap.histograms.size(), snap.spans.size());
+    obs::write_metrics_summary(snap, std::cout);
   }
   return 0;
 }

@@ -82,7 +82,9 @@ class PlanContext {
   double comm_pre(int j) const { return comm_pre_[static_cast<std::size_t>(j)]; }
   double comm_dec(int j) const { return comm_dec_[static_cast<std::size_t>(j)]; }
   /// Quality penalty of group g at bit index bi (PPL units).
-  double omega(int g, int bi) const { return omega_[static_cast<std::size_t>(g)][static_cast<std::size_t>(bi)]; }
+  double omega(int g, int bi) const {
+    return omega_[static_cast<std::size_t>(g)][static_cast<std::size_t>(bi)];
+  }
 
   /// Objective coefficients of the straggler variables: (mu_pre - 1) and
   /// (mu_dec * (n-1) - 1).

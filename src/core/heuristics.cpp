@@ -317,8 +317,9 @@ HeuristicPlan bitwidth_transfer(const PlanContext& ctx, HeuristicPlan plan,
         int widest = -1, widest_w = -1;
         for (int g = 0; g < G; ++g) {
           if (plan.group_stage[static_cast<std::size_t>(g)] != nb) continue;
-          const int w = sq::hw::bits(
-              ctx.inputs().bits[static_cast<std::size_t>(plan.group_bit[static_cast<std::size_t>(g)])]);
+          const auto bi =
+              static_cast<std::size_t>(plan.group_bit[static_cast<std::size_t>(g)]);
+          const int w = sq::hw::bits(ctx.inputs().bits[bi]);
           if (w > widest_w) {
             widest_w = w;
             widest = g;
@@ -326,7 +327,10 @@ HeuristicPlan bitwidth_transfer(const PlanContext& ctx, HeuristicPlan plan,
         }
         if (widest >= 0) {
           for (int nbit = 0; nbit < B; ++nbit) {
-            if (sq::hw::bits(ctx.inputs().bits[static_cast<std::size_t>(nbit)]) >= widest_w) continue;
+            if (sq::hw::bits(ctx.inputs().bits[static_cast<std::size_t>(nbit)]) >=
+                widest_w) {
+              continue;
+            }
             for (int mbit = 0; mbit < B; ++mbit) {
               HeuristicPlan cand = plan;
               cand.group_bit[static_cast<std::size_t>(widest)] = nbit;

@@ -11,6 +11,7 @@
 #include "core/heuristics.h"
 #include "core/ilp.h"
 #include "model/layer_stats.h"
+#include "obs/metrics.h"
 #include "runtime/engine.h"
 #include "sim/pipeline.h"
 
@@ -56,6 +57,40 @@ std::vector<int> widest_first_order(const std::vector<sq::hw::Bitwidth>& bits) {
 
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Observe one search-phase duration (no-op when metrics are disabled).
+/// Wall times are observability only — never inputs to the search — so
+/// metrics-on and metrics-off runs pick bit-identical plans.
+void observe_phase_s(const char* name, double seconds) {
+  if (!sq::obs::enabled()) return;
+  sq::obs::histogram(name, sq::obs::BucketLayout::kSeconds).observe(seconds);
+}
+
+/// Snapshot of the shared caches, used to attribute hit/miss deltas of one
+/// planner invocation to the planner's counters.
+struct CacheMarks {
+  sq::sim::StageCacheStats stage;
+  std::uint64_t predict_hits = 0;
+  std::uint64_t predict_misses = 0;
+};
+
+CacheMarks cache_marks(const sq::cost::LatencyCostModel& latency) {
+  return {sq::sim::stage_cache_stats(), latency.predict_cache_hits(),
+          latency.predict_cache_misses()};
+}
+
+void observe_cache_deltas(const sq::cost::LatencyCostModel& latency,
+                          const CacheMarks& t0) {
+  if (!sq::obs::enabled()) return;
+  const CacheMarks t1 = cache_marks(latency);
+  sq::obs::counter("planner.stage_cache.hits").add(t1.stage.hits - t0.stage.hits);
+  sq::obs::counter("planner.stage_cache.misses")
+      .add(t1.stage.misses - t0.stage.misses);
+  sq::obs::counter("planner.predict_cache.hits")
+      .add(t1.predict_hits - t0.predict_hits);
+  sq::obs::counter("planner.predict_cache.misses")
+      .add(t1.predict_misses - t0.predict_misses);
 }
 
 /// Power-of-two micro-batch candidates up to `cap` (plus `cap` itself).
@@ -254,6 +289,13 @@ PlanResult Planner::plan(const PlannerConfig& cfg) const {
 
   const auto pool = make_pool(cfg.num_threads);
 
+  // Observability marks (counters and wall-time histograms only; every
+  // aggregate is order-independent, so totals are identical across thread
+  // counts, and nothing recorded here feeds back into the search).
+  const bool ob = sq::obs::enabled();
+  const CacheMarks marks = ob ? cache_marks(latency_) : CacheMarks{};
+  auto phase_t0 = Clock::now();
+
   // Stage 1: greedy-score every (batch, topology, eta, xi) candidate.
   // Across batch sizes, objectives are compared per-request:
   // (latency + theta * omega) / B — the throughput-fair normalization.
@@ -310,9 +352,19 @@ PlanResult Planner::plan(const PlannerConfig& cfg) const {
         {d.input, d.topo, d.eta, d.xi, std::move(*seeds[i]), obj, cands.size()});
   }
   result.topologies_tried = static_cast<int>(topologies.size());
+  if (ob) {
+    sq::obs::counter("planner.topologies").add(topologies.size());
+    sq::obs::counter("planner.candidates.generated").add(descs.size());
+    sq::obs::counter("planner.candidates.pruned")
+        .add(descs.size() - cands.size());
+    sq::obs::counter("planner.candidates.evaluated").add(cands.size());
+    observe_phase_s("planner.time.greedy_s", seconds_since(phase_t0));
+    phase_t0 = Clock::now();
+  }
   if (cands.empty()) {
     result.failure = "OOM: no (topology, micro-batch) candidate fits the model";
     result.solve_seconds = seconds_since(t0);
+    if (ob) observe_cache_deltas(latency_, marks);
     return result;
   }
   auto by_norm = [](const Candidate& a, const Candidate& b) {
@@ -340,6 +392,12 @@ PlanResult Planner::plan(const PlannerConfig& cfg) const {
       });
   result.pairs_tried += refine_k;
   std::sort(cands.begin(), cands.end(), by_norm);
+  if (ob) {
+    sq::obs::counter("planner.candidates.refined")
+        .add(static_cast<std::uint64_t>(refine_k));
+    observe_phase_s("planner.time.refine_s", seconds_since(phase_t0));
+    phase_t0 = Clock::now();
+  }
 
   // Stage 3: exact ILP on the top candidates (unless heuristic mode).
   // Solves fan out; the reduction walks the outcomes in candidate order.
@@ -373,6 +431,14 @@ PlanResult Planner::plan(const PlannerConfig& cfg) const {
       }
     }
   }
+  if (ob) {
+    sq::obs::counter("planner.ilp.solves")
+        .add(static_cast<std::uint64_t>(result.ilp_solves));
+    sq::obs::counter("planner.ilp.nodes")
+        .add(static_cast<std::uint64_t>(result.ilp_nodes));
+    observe_phase_s("planner.time.ilp_s", seconds_since(phase_t0));
+    phase_t0 = Clock::now();
+  }
 
   // Stage 4: profiling validation run.  Near-ties under the cost model are
   // settled by simulating the top finalists on the planning batch (a short
@@ -404,6 +470,14 @@ PlanResult Planner::plan(const PlannerConfig& cfg) const {
         best_i = static_cast<std::size_t>(i);
       }
     }
+    if (ob) {
+      sq::obs::counter("planner.candidates.validated")
+          .add(static_cast<std::uint64_t>(check_k));
+    }
+  }
+  if (ob) {
+    observe_phase_s("planner.time.validate_s", seconds_since(phase_t0));
+    phase_t0 = Clock::now();
   }
 
   const auto& c = cands[best_i];
@@ -445,6 +519,12 @@ PlanResult Planner::plan(const PlannerConfig& cfg) const {
     }
     r.solve_seconds = seconds_since(t0);
     r.plan.solve_seconds = r.solve_seconds;
+  }
+  if (ob) {
+    observe_phase_s("planner.time.dominance_s", seconds_since(phase_t0));
+    observe_phase_s("planner.time.total_s", seconds_since(t0));
+    sq::obs::counter("planner.plans").add();
+    observe_cache_deltas(latency_, marks);
   }
   return r;
 }
@@ -500,6 +580,7 @@ PlanResult Planner::plan_uniform(const PlannerConfig& cfg) const {
   // inside each task keep the sequential enumeration order, and the
   // cross-task reduction walks tasks in that same order.
   const std::size_t n_tasks = inputs.size() * topologies.size();
+  if (sq::obs::enabled()) sq::obs::counter("planner.baseline.tasks").add(n_tasks);
   std::vector<std::optional<SweepBest>> task_best(n_tasks);
   const auto pool = make_pool(cfg.num_threads);
   sq::common::parallel_for(pool.get(), n_tasks, [&](std::size_t task) {
@@ -562,6 +643,7 @@ PlanResult Planner::plan_het(const PlannerConfig& cfg) const {
   const auto order = widest_first_order(inputs.front().bits);
 
   const std::size_t n_tasks = inputs.size() * topologies.size();
+  if (sq::obs::enabled()) sq::obs::counter("planner.baseline.tasks").add(n_tasks);
   std::vector<std::optional<SweepBest>> task_best(n_tasks);
   const auto pool = make_pool(cfg.num_threads);
   sq::common::parallel_for(pool.get(), n_tasks, [&](std::size_t task) {
@@ -620,6 +702,7 @@ PlanResult Planner::plan_adabits(const PlannerConfig& cfg) const {
       enumerate_topologies(cluster_, cfg.allow_tp, cfg.max_topologies);
 
   const std::size_t n_tasks = inputs.size() * topologies.size();
+  if (sq::obs::enabled()) sq::obs::counter("planner.baseline.tasks").add(n_tasks);
   std::vector<std::optional<SweepBest>> task_best(n_tasks);
   const auto pool = make_pool(cfg.num_threads);
   sq::common::parallel_for(pool.get(), n_tasks, [&](std::size_t task) {

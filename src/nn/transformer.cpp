@@ -114,7 +114,8 @@ Tensor TinyTransformer::apply_linear(const Tensor& x, const Tensor& w,
   if (capture) {
     auto& store = calib_acts_[static_cast<std::size_t>(layer)]
                              [static_cast<std::size_t>(op)];
-    const std::size_t want = std::min(x.rows(), kMaxCalibRows - std::min(kMaxCalibRows, store.rows()));
+    const std::size_t want =
+        std::min(x.rows(), kMaxCalibRows - std::min(kMaxCalibRows, store.rows()));
     if (want > 0) {
       Tensor merged(store.rows() + want, x.cols());
       for (std::size_t r = 0; r < store.rows(); ++r) {

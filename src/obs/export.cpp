@@ -1,0 +1,183 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace sq::obs {
+
+namespace {
+
+/// Render "key": prefix at `indent` spaces.
+void key(std::ostream& out, int indent, std::string_view name) {
+  for (int i = 0; i < indent; ++i) out.put(' ');
+  out << '"' << json_escape(name) << "\": ";
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string hexfloat(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void write_metrics_json(const Snapshot& snap, std::ostream& out) {
+  out << "{\n";
+
+  key(out, 2, "counters");
+  out << "{";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n");
+    key(out, 4, snap.counters[i].name);
+    out << snap.counters[i].value;
+  }
+  out << (snap.counters.empty() ? "},\n" : "\n  },\n");
+
+  key(out, 2, "gauges");
+  out << "{";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    const auto& g = snap.gauges[i];
+    out << (i == 0 ? "\n" : ",\n");
+    key(out, 4, g.name);
+    out << "{\"last\": \"" << hexfloat(g.last) << "\", \"max\": \""
+        << hexfloat(g.max) << "\", \"sets\": " << g.sets << "}";
+  }
+  out << (snap.gauges.empty() ? "},\n" : "\n  },\n");
+
+  key(out, 2, "histograms");
+  out << "{";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& h = snap.histograms[i];
+    out << (i == 0 ? "\n" : ",\n");
+    key(out, 4, h.name);
+    out << "{\n";
+    key(out, 6, "bounds");
+    out << "[";
+    const auto& bounds = layout_bounds(h.layout);
+    for (std::size_t b = 0; b < bounds.size(); ++b) {
+      out << (b ? ", " : "") << json_number(bounds[b]);
+    }
+    out << "],\n";
+    key(out, 6, "count");
+    out << h.count << ",\n";
+    key(out, 6, "counts");
+    out << "[";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      out << (b ? ", " : "") << h.counts[b];
+    }
+    out << "],\n";
+    key(out, 6, "layout");
+    out << '"' << layout_name(h.layout) << "\",\n";
+    key(out, 6, "max");
+    out << '"' << hexfloat(h.max) << "\",\n";
+    key(out, 6, "min");
+    out << '"' << hexfloat(h.min) << "\",\n";
+    key(out, 6, "sum");
+    out << '"' << hexfloat(h.sum) << "\"\n    }";
+  }
+  out << (snap.histograms.empty() ? "},\n" : "\n  },\n");
+
+  key(out, 2, "schema");
+  out << '"' << kMetricsSchema << "\",\n";
+
+  key(out, 2, "spans");
+  out << "[";
+  for (std::size_t i = 0; i < snap.spans.size(); ++i) {
+    const Span& s = snap.spans[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"attrs\": {";
+    auto attrs = s.attrs;
+    std::sort(attrs.begin(), attrs.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (std::size_t a = 0; a < attrs.size(); ++a) {
+      out << (a ? ", " : "") << '"' << json_escape(attrs[a].first) << "\": \""
+          << hexfloat(attrs[a].second) << '"';
+    }
+    out << "}, \"end_us\": \"" << hexfloat(s.end_us) << "\", \"name\": \""
+        << json_escape(s.name) << "\", \"start_us\": \"" << hexfloat(s.start_us)
+        << "\"}";
+  }
+  out << (snap.spans.empty() ? "]\n" : "\n  ]\n");
+  out << "}\n";
+}
+
+std::string metrics_json(const Snapshot& snap) {
+  std::ostringstream out;
+  write_metrics_json(snap, out);
+  return out.str();
+}
+
+void write_metrics_summary(const Snapshot& snap, std::ostream& out) {
+  char buf[256];
+  if (!snap.counters.empty()) {
+    out << "counters\n";
+    for (const auto& c : snap.counters) {
+      std::snprintf(buf, sizeof(buf), "  %-44s %14llu\n", c.name.c_str(),
+                    static_cast<unsigned long long>(c.value));
+      out << buf;
+    }
+  }
+  if (!snap.gauges.empty()) {
+    out << "gauges (last / high-water)\n";
+    for (const auto& g : snap.gauges) {
+      std::snprintf(buf, sizeof(buf), "  %-44s %14.4g %14.4g\n", g.name.c_str(),
+                    g.last, g.max);
+      out << buf;
+    }
+  }
+  if (!snap.histograms.empty()) {
+    out << "histograms (count / mean / min / max)\n";
+    for (const auto& h : snap.histograms) {
+      const double mean =
+          h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0;
+      std::snprintf(buf, sizeof(buf),
+                    "  %-44s %10llu %12.4g %12.4g %12.4g\n", h.name.c_str(),
+                    static_cast<unsigned long long>(h.count), mean, h.min, h.max);
+      out << buf;
+    }
+  }
+  double trace_end = 0.0;
+  for (const Span& s : snap.spans) trace_end = std::max(trace_end, s.end_us);
+  std::snprintf(buf, sizeof(buf),
+                "trace: %zu spans over %.1f simulated ms\n", snap.spans.size(),
+                trace_end * 1e-3);
+  out << buf;
+}
+
+}  // namespace sq::obs

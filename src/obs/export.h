@@ -1,0 +1,60 @@
+// Exporters for the observability layer: a machine-readable JSON document
+// with a stable schema (keys emitted in sorted order, doubles rendered as
+// hexfloat strings so values round-trip bit-exactly through strtod), and a
+// human-readable summary table.
+//
+// The small JSON formatting helpers (escaping, number rendering) are
+// exposed because the bench JSON writer (bench/bench_util.h) reuses them
+// for the BENCH_<name>.json artifacts.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace sq::obs {
+
+/// Identifier stamped into every exported metrics document.
+inline constexpr std::string_view kMetricsSchema = "splitquant.metrics.v1";
+
+/// JSON-escape a string (quotes, backslashes, control characters).
+std::string json_escape(std::string_view s);
+
+/// Bit-exact rendering of a double as a hexfloat string ("0x1.8p+1");
+/// strtod round-trips it exactly.  Infinities render as "inf"/"-inf".
+std::string hexfloat(double v);
+
+/// Human-friendly JSON number via "%.17g" (shortest round-trip decimal);
+/// non-finite values render as null.
+std::string json_number(double v);
+
+/// Write the snapshot as a JSON document:
+///   {
+///     "counters":   { "<name>": <integer>, ... },
+///     "gauges":     { "<name>": {"last": "<hexfloat>", "max": "<hexfloat>",
+///                                "sets": <integer>}, ... },
+///     "histograms": { "<name>": {"bounds": [<number>...], "count": <integer>,
+///                                "counts": [<integer>...], "layout": "<name>",
+///                                "max": "<hexfloat>", "min": "<hexfloat>",
+///                                "sum": "<hexfloat>"}, ... },
+///     "schema":     "splitquant.metrics.v1",
+///     "spans":      [ {"attrs": {"<key>": "<hexfloat>", ...},
+///                      "end_us": "<hexfloat>", "name": "<name>",
+///                      "start_us": "<hexfloat>"}, ... ]
+///   }
+/// Every object's keys appear in sorted order (instruments are name-sorted
+/// by the registry; attr keys are sorted here), so two equal snapshots
+/// always serialize to byte-identical documents.
+void write_metrics_json(const Snapshot& snap, std::ostream& out);
+
+/// Convenience: write_metrics_json into a string.
+std::string metrics_json(const Snapshot& snap);
+
+/// Aligned human-readable summary (counters, gauges, histogram digests,
+/// span count and simulated-trace extent).
+void write_metrics_summary(const Snapshot& snap, std::ostream& out);
+
+}  // namespace sq::obs

@@ -1,0 +1,248 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace sq::obs {
+
+namespace {
+
+constexpr double kFixedPointScale = 1048576.0;  // 2^20.
+
+std::uint64_t bits_of(double v) { return std::bit_cast<std::uint64_t>(v); }
+double double_of(std::uint64_t b) { return std::bit_cast<double>(b); }
+
+/// CAS-max on a double stored as bits.  Total order via operator< on the
+/// double values; NaN observations are dropped by the callers.
+void atomic_max_double(std::atomic<std::uint64_t>& slot, double v) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (double_of(cur) < v &&
+         !slot.compare_exchange_weak(cur, bits_of(v), std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min_double(std::atomic<std::uint64_t>& slot, double v) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v < double_of(cur) &&
+         !slot.compare_exchange_weak(cur, bits_of(v), std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<double> make_time_us_bounds() {
+  // Decades with 1-2-5 subdivision: 1, 2, 5, 10, ... up to 1e9 us.
+  std::vector<double> b;
+  for (double decade = 1.0; decade <= 1e8; decade *= 10.0) {
+    for (const double m : {1.0, 2.0, 5.0}) b.push_back(m * decade);
+  }
+  b.push_back(1e9);
+  return b;
+}
+
+std::vector<double> make_seconds_bounds() {
+  std::vector<double> b;
+  for (double v = 1e-3; v <= 1e4; v *= 10.0) b.push_back(v);
+  return b;
+}
+
+std::vector<double> make_pow2_bounds() {
+  std::vector<double> b;
+  for (int i = 0; i <= 20; ++i) b.push_back(static_cast<double>(1u << i));
+  return b;
+}
+
+std::vector<double> make_ratio_bounds() {
+  std::vector<double> b;
+  for (int i = 1; i <= 20; ++i) b.push_back(static_cast<double>(i) * 0.05);
+  return b;
+}
+
+}  // namespace
+
+const std::vector<double>& layout_bounds(BucketLayout layout) {
+  static const std::vector<double> time_us = make_time_us_bounds();
+  static const std::vector<double> seconds = make_seconds_bounds();
+  static const std::vector<double> pow2 = make_pow2_bounds();
+  static const std::vector<double> ratio = make_ratio_bounds();
+  switch (layout) {
+    case BucketLayout::kTimeUs: return time_us;
+    case BucketLayout::kSeconds: return seconds;
+    case BucketLayout::kPow2: return pow2;
+    case BucketLayout::kRatio: return ratio;
+  }
+  return time_us;  // unreachable
+}
+
+const char* layout_name(BucketLayout layout) {
+  switch (layout) {
+    case BucketLayout::kTimeUs: return "time_us";
+    case BucketLayout::kSeconds: return "seconds";
+    case BucketLayout::kPow2: return "pow2";
+    case BucketLayout::kRatio: return "ratio";
+  }
+  return "time_us";  // unreachable
+}
+
+// ---- Gauge -------------------------------------------------------------
+
+Gauge::Gauge()
+    : last_bits_(bits_of(0.0)),
+      max_bits_(bits_of(-std::numeric_limits<double>::infinity())) {}
+
+void Gauge::set(double v) {
+  if (std::isnan(v)) return;
+  last_bits_.store(bits_of(v), std::memory_order_relaxed);
+  atomic_max_double(max_bits_, v);
+  sets_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double Gauge::last() const {
+  return double_of(last_bits_.load(std::memory_order_relaxed));
+}
+
+double Gauge::max() const {
+  return sets() > 0 ? double_of(max_bits_.load(std::memory_order_relaxed)) : 0.0;
+}
+
+void Gauge::reset() {
+  last_bits_.store(bits_of(0.0), std::memory_order_relaxed);
+  max_bits_.store(bits_of(-std::numeric_limits<double>::infinity()),
+                  std::memory_order_relaxed);
+  sets_.store(0, std::memory_order_relaxed);
+}
+
+// ---- Histogram ---------------------------------------------------------
+
+Histogram::Histogram(BucketLayout layout)
+    : layout_(layout),
+      bounds_(layout_bounds(layout)),
+      buckets_(bounds_.size() + 1),
+      min_bits_(bits_of(std::numeric_limits<double>::infinity())),
+      max_bits_(bits_of(-std::numeric_limits<double>::infinity())) {}
+
+void Histogram::observe(double v) {
+  if (std::isnan(v)) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_fp_.fetch_add(std::llround(v * kFixedPointScale), std::memory_order_relaxed);
+  atomic_min_double(min_bits_, v);
+  atomic_max_double(max_bits_, v);
+  seen_.store(true, std::memory_order_relaxed);
+}
+
+double Histogram::sum() const {
+  return static_cast<double>(sum_fp_.load(std::memory_order_relaxed)) /
+         kFixedPointScale;
+}
+
+double Histogram::min() const {
+  return seen_.load(std::memory_order_relaxed)
+             ? double_of(min_bits_.load(std::memory_order_relaxed))
+             : 0.0;
+}
+
+double Histogram::max() const {
+  return seen_.load(std::memory_order_relaxed)
+             ? double_of(max_bits_.load(std::memory_order_relaxed))
+             : 0.0;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_fp_.store(0, std::memory_order_relaxed);
+  min_bits_.store(bits_of(std::numeric_limits<double>::infinity()),
+                  std::memory_order_relaxed);
+  max_bits_.store(bits_of(-std::numeric_limits<double>::infinity()),
+                  std::memory_order_relaxed);
+  seen_.store(false, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+// ---- Registry ----------------------------------------------------------
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name, BucketLayout layout) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>(layout))
+             .first;
+  }
+  if (it->second->layout() != layout) {
+    throw std::logic_error("obs: histogram '" + std::string(name) +
+                           "' re-registered with a different bucket layout");
+  }
+  return *it->second;
+}
+
+void Registry::record_spans(std::vector<Span> spans) {
+  if (!enabled() || spans.empty()) return;
+  const std::lock_guard<std::mutex> lk(mu_);
+  spans_.insert(spans_.end(), std::make_move_iterator(spans.begin()),
+                std::make_move_iterator(spans.end()));
+}
+
+Snapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->last(), g->max(), g->sets()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.push_back({name, h->layout(), h->counts(), h->count(),
+                               h->sum(), h->min(), h->max()});
+  }
+  snap.spans = spans_;
+  return snap;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lk(mu_);
+  // Zero instruments in place so handles held by producers survive.
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+  spans_.clear();
+}
+
+}  // namespace sq::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "runtime/scheduler.h"
 
 namespace sq::runtime {
@@ -38,6 +39,13 @@ ServeStats OfflineEngine::serve(
   opts.backend_efficiency = backend_efficiency();
   opts.memoize = memoize_;
 
+  // Observability: metrics and trace spans are recorded only when this
+  // engine was marked observable AND the registry is enabled; recording is
+  // read-only with respect to ServeStats (asserted by obs_test.cpp).
+  const bool ob = observe_ && sq::obs::enabled();
+  sq::obs::TraceSink sink;
+  if (ob) opts.trace = &sink;
+
   double bubble_sum = 0.0;
   for (const auto& batch : batches) {
     const BatchSchedule sched = schedule_batch(cluster_, model_, plan_, batch);
@@ -47,18 +55,47 @@ ServeStats OfflineEngine::serve(
       return stats;
     }
     if (sched.waves.size() > 1) ++stats.capped_batches;
+    if (ob && sched.waves.size() > 1) {
+      sq::obs::counter("runtime.concurrency_cap_events").add();
+      sq::obs::histogram("runtime.concurrency_cap", sq::obs::BucketLayout::kPow2)
+          .observe(static_cast<double>(sched.waves.front()));
+    }
     for (const std::uint64_t wave : sched.waves) {
       sq::sim::BatchWorkload w = batch;
       w.batch_size = wave;
       sq::sim::ExecutionPlan p = plan_;
       p.prefill_microbatch = std::min<std::uint64_t>(sched.eta, wave);
       p.decode_microbatch = std::min<std::uint64_t>(sched.xi, wave);
+      sink.base_us = stats.total_seconds * 1e6;
       const auto r = sq::sim::simulate_batch(cluster_, model_, p, w, opts);
       if (r.oom) {
         stats.feasible = false;
         stats.failure = "OOM during execution on device " +
                         std::to_string(r.oom_device);
         return stats;
+      }
+      if (ob) {
+        sq::obs::counter("runtime.waves").add();
+        using sq::obs::BucketLayout;
+        sq::obs::histogram("runtime.wave_size", BucketLayout::kPow2)
+            .observe(static_cast<double>(wave));
+        sq::obs::histogram("runtime.prefill_microbatch", BucketLayout::kPow2)
+            .observe(static_cast<double>(p.prefill_microbatch));
+        sq::obs::histogram("runtime.decode_microbatch", BucketLayout::kPow2)
+            .observe(static_cast<double>(p.decode_microbatch));
+        sq::obs::histogram("runtime.wave_bubble", BucketLayout::kRatio)
+            .observe(r.bubble_fraction);
+        // KV occupancy high-water mark: tightest device's KV reservation
+        // share of its usable memory this wave.
+        double kv_occ = 0.0;
+        for (const auto& dm : r.memory.devices) {
+          const double usable = static_cast<double>(
+              cluster_.spec(dm.device).usable_memory_bytes());
+          if (usable > 0.0) {
+            kv_occ = std::max(kv_occ, static_cast<double>(dm.kv_cache) / usable);
+          }
+        }
+        sq::obs::gauge("runtime.kv_occupancy.hwm").set(kv_occ);
       }
       stats.total_seconds += r.total_us * 1e-6;
       stats.output_tokens +=
@@ -67,6 +104,10 @@ ServeStats OfflineEngine::serve(
       ++stats.waves;
     }
     ++stats.batches;
+  }
+  if (ob) {
+    sq::obs::counter("runtime.batches").add(stats.batches);
+    sq::obs::Registry::global().record_spans(sink.take());
   }
   if (stats.total_seconds > 0.0) {
     stats.throughput_tok_s = stats.output_tokens / stats.total_seconds;

@@ -62,6 +62,16 @@ class OfflineEngine {
                             std::uint64_t batch_size,
                             std::uint64_t chunk_tokens = 2048) const;
 
+  /// Record serving metrics and simulated-clock trace spans into the
+  /// global obs registry during serve (micro-batch sizes chosen,
+  /// concurrency-cap events, KV occupancy high-water marks, per-stage
+  /// spans per wave).  Off by default; recording never changes ServeStats
+  /// — it only observes them.  The planner's parallel validation engines
+  /// leave this off, so the ordered trace is only ever produced by
+  /// sequential serve loops.
+  void set_observe(bool on) { observe_ = on; }
+  bool observe() const { return observe_; }
+
   /// The bound plan.
   const sq::sim::ExecutionPlan& plan() const { return plan_; }
 
@@ -75,6 +85,7 @@ class OfflineEngine {
   Backend backend_;
   sq::sim::KernelModelOptions kernel_;
   bool memoize_;
+  bool observe_ = false;
 };
 
 }  // namespace sq::runtime

@@ -1,5 +1,7 @@
 #include "runtime/kv_cache.h"
 
+#include "obs/metrics.h"
+
 namespace sq::runtime {
 
 KvCacheAllocator::KvCacheAllocator(const sq::model::LlmSpec& m,
@@ -18,9 +20,15 @@ bool KvCacheAllocator::reserve(std::uint64_t req, std::uint64_t context_tokens) 
   const std::uint64_t have = blocks_of(req);
   if (need <= have) return true;
   const std::uint64_t grow = need - have;
-  if (grow > free_blocks()) return false;
+  if (grow > free_blocks()) {
+    if (sq::obs::enabled()) sq::obs::counter("kv.reserve_denied").add();
+    return false;
+  }
   used_blocks_ += grow;
   held_[req] = need;
+  if (sq::obs::enabled()) {
+    sq::obs::gauge("kv.occupancy.hwm").set(utilization());
+  }
   return true;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "sim/memory.h"
 
 namespace sq::runtime {
@@ -33,6 +34,15 @@ BatchSchedule schedule_batch(const sq::hw::Cluster& cluster,
                              const sq::sim::BatchWorkload& w) {
   BatchSchedule s;
   const std::uint64_t cap = max_concurrency(cluster, m, plan, w);
+  // Order-independent counters only: schedule_batch runs concurrently under
+  // the planner's validation fan-out, so no ordered spans here.
+  if (sq::obs::enabled()) {
+    sq::obs::counter("scheduler.schedules").add();
+    if (cap == 0) sq::obs::counter("scheduler.weights_oom").add();
+    if (cap > 0 && cap < w.batch_size) {
+      sq::obs::counter("scheduler.capped").add();
+    }
+  }
   if (cap == 0) {
     s.weights_fit = false;
     return s;

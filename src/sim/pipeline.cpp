@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <limits>
 
 #include "common/memo_cache.h"
 
@@ -239,6 +240,20 @@ SimResult simulate_batch(const sq::hw::Cluster& cluster, const sq::model::LlmSpe
   const double embed_us =
       km.embed_time_us(master_spec, m, eta * w.prompt_len) / eff;
 
+  // Trace accumulators; only maintained when a sink is attached.  Pure
+  // observations of the schedule recurrence — they never feed back into it.
+  const bool tracing = opts.trace != nullptr;
+  std::vector<double> first_start;
+  std::vector<double> comm_in;
+  std::vector<double> busy_pre;
+  std::vector<double> prefill_end;
+  std::vector<double> first_dec_start;
+  if (tracing) {
+    first_start.assign(n_stages, std::numeric_limits<double>::infinity());
+    comm_in.assign(n_stages, 0.0);
+    first_dec_start.assign(n_stages, std::numeric_limits<double>::infinity());
+  }
+
   // Schedule recurrence: start(s, mb) = max(stage free, upstream + comm).
   std::vector<double> stage_free(n_stages, 0.0);
   std::vector<double> busy(n_stages, 0.0);
@@ -253,12 +268,20 @@ SimResult simulate_batch(const sq::hw::Cluster& cluster, const sq::model::LlmSpe
       const double arrive = upstream + (s > 0 ? pre_comm[s] * frac : 0.0);
       const double start = std::max(stage_free[s], arrive);
       const double dur = pre_t[s] * frac;
+      if (tracing) {
+        first_start[s] = std::min(first_start[s], start);
+        if (s > 0) comm_in[s] += pre_comm[s] * frac;
+      }
       stage_free[s] = start + dur;
       busy[s] += dur;
       upstream = stage_free[s];
     }
     mb_prefill_done[mb] = upstream;
     prefill_done_all = std::max(prefill_done_all, upstream);
+  }
+  if (tracing) {
+    busy_pre = busy;
+    prefill_end = stage_free;
   }
   // First token of each request: LM head on master after the last stage.
   const double lm_head_pre = km.lm_head_time_us(master_spec, m, eta) / eff;
@@ -303,6 +326,10 @@ SimResult simulate_batch(const sq::hw::Cluster& cluster, const sq::model::LlmSpe
         const double arrive = upstream + (s > 0 ? dec_comm[s] * frac : 0.0);
         const double start = std::max(stage_free[s], arrive);
         const double dur = step_t[s] * frac;
+        if (tracing) {
+          first_dec_start[s] = std::min(first_dec_start[s], start);
+          if (s > 0) comm_in[s] += dec_comm[s] * frac;
+        }
         stage_free[s] = start + dur;
         busy[s] += dur;
         upstream = stage_free[s];
@@ -325,6 +352,44 @@ SimResult simulate_batch(const sq::hw::Cluster& cluster, const sq::model::LlmSpe
     idle += res.total_us > 0.0 ? 1.0 - busy[s] / res.total_us : 0.0;
   }
   res.bubble_fraction = n_stages > 0 ? idle / static_cast<double>(n_stages) : 0.0;
+
+  if (tracing) {
+    // One batch span, then per-stage compute/comm/bubble spans for this
+    // wave, all stamped on the simulated clock.  The sink shifts by its
+    // base_us so multiple waves concatenate into one timeline.
+    const double stage_count = static_cast<double>(n_stages);
+    opts.trace->add({"batch",
+                     0.0,
+                     res.total_us,
+                     {{"batch_size", static_cast<double>(w.batch_size)},
+                      {"eta", static_cast<double>(eta)},
+                      {"xi", static_cast<double>(xi)},
+                      {"prefill_us", res.prefill_us},
+                      {"decode_us", res.decode_us},
+                      {"stages", stage_count}}});
+    for (std::size_t s = 0; s < n_stages; ++s) {
+      const double sd = static_cast<double>(s);
+      const double dec_busy = busy[s] - busy_pre[s];
+      opts.trace->add({"stage.prefill",
+                       first_start[s],
+                       prefill_end[s],
+                       {{"stage", sd}, {"busy_us", busy_pre[s]}}});
+      if (steps > 0) {
+        opts.trace->add({"stage.decode",
+                         first_dec_start[s],
+                         stage_free[s],
+                         {{"stage", sd}, {"busy_us", dec_busy}}});
+      }
+      opts.trace->add({"stage.comm",
+                       0.0,
+                       res.total_us,
+                       {{"stage", sd}, {"comm_in_us", comm_in[s]}}});
+      opts.trace->add({"stage.bubble",
+                       0.0,
+                       res.total_us,
+                       {{"stage", sd}, {"idle_us", res.total_us - busy[s]}}});
+    }
+  }
   return res;
 }
 

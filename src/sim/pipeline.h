@@ -16,6 +16,7 @@
 
 #include "hw/cluster.h"
 #include "model/llm.h"
+#include "obs/metrics.h"
 #include "sim/kernel_model.h"
 #include "sim/memory.h"
 #include "sim/plan.h"
@@ -50,6 +51,13 @@ struct PipelineOptions {
   /// caching never changes results bit-for-bit — it only removes repeated
   /// evaluation across waves, calibration shapes and plan candidates.
   bool memoize = true;
+  /// When non-null, per-stage compute/comm/bubble spans of this batch are
+  /// recorded into the sink on the simulated clock (microseconds, shifted
+  /// by the sink's base_us).  Null — the default, and the only setting the
+  /// planner's parallel validation fan-out ever uses — skips every trace
+  /// branch, so simulation arithmetic and results are untouched: spans are
+  /// observations of the schedule, never inputs to it.
+  sq::obs::TraceSink* trace = nullptr;
 };
 
 /// Counters of the process-wide stage-time memoization cache.

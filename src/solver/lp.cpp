@@ -118,7 +118,9 @@ LpSolution SimplexSolver::solve(const LpProblem& p,
   {
     int slack_i = 0, art_i = 0;
     for (int r = 0; r < m; ++r) {
-      for (int j = 0; j < nf; ++j) at(r, j) = rows[static_cast<std::size_t>(r)].a[static_cast<std::size_t>(j)];
+      for (int j = 0; j < nf; ++j) {
+        at(r, j) = rows[static_cast<std::size_t>(r)].a[static_cast<std::size_t>(j)];
+      }
       at(r, rhs_col) = rows[static_cast<std::size_t>(r)].rhs;
       switch (rows[static_cast<std::size_t>(r)].sense) {
         case Sense::kLe: {
@@ -239,7 +241,10 @@ LpSolution SimplexSolver::solve(const LpProblem& p,
 
   // ---- Phase 2: original objective. ------------------------------------
   for (int c = 0; c <= n_cols; ++c) at(m, c) = 0.0;
-  for (int j = 0; j < nf; ++j) at(m, j) = p.objective()[static_cast<std::size_t>(orig_of_free[static_cast<std::size_t>(j)])];
+  for (int j = 0; j < nf; ++j) {
+    const auto oj = static_cast<std::size_t>(orig_of_free[static_cast<std::size_t>(j)]);
+    at(m, j) = p.objective()[oj];
+  }
   for (int r = 0; r < m; ++r) {
     const int b = basis[static_cast<std::size_t>(r)];
     if (b < nf && std::abs(at(m, b)) > kEps) {
