@@ -7,9 +7,15 @@ Gate rules, keyed purely on field-name conventions (see bench/bench_util.h):
                  --tolerance (default 20%) below the baseline; increases
                  never fail (the baseline just becomes stale and should be
                  refreshed, see EXPERIMENTS.md)
-  *_fingerprint  plan identity — any change fails (the planner picked a
-                 different plan, which must be an intentional, reviewed
-                 change accompanied by a baseline refresh)
+  *_speedup_x    relative kernel throughput (blocked vs naive, measured in
+                 the same run, so machine speed cancels) — same >20%-drop
+                 rule as *_tok_s; the committed baselines hold conservative
+                 floors, not the measured values, so runner-to-runner
+                 variance does not flake the gate
+  *_fingerprint  plan/output identity — any change fails (the planner
+                 picked a different plan or a kernel changed bits, which
+                 must be an intentional, reviewed change accompanied by a
+                 baseline refresh)
 
 Everything else (wall-clock seconds, cache hit rates, ppl) is informative
 only.  Rows are matched positionally; a row-count or schema change fails.
@@ -54,7 +60,8 @@ def compare(name: str, run: dict, base: dict, tolerance: float) -> list:
                 failures.append(
                     f"{name} {label}: {key} changed {want!r} -> {got!r} "
                     f"(plan changed; refresh ci/baselines if intentional)")
-            elif key.endswith("_tok_s") and isinstance(want, (int, float)):
+            elif (key.endswith("_tok_s") or key.endswith("_speedup_x")) \
+                    and isinstance(want, (int, float)):
                 if want > 0 and got < want * (1.0 - tolerance):
                     failures.append(
                         f"{name} {label}: {key} regressed {want:.1f} -> {got:.1f} "

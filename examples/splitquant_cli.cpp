@@ -12,8 +12,9 @@
 //   --theta <float>     quality scalar (default 10)
 //   --batch <n>         max concurrent requests (default 128)
 //   --requests <n>      requests to sample/serve (default 256)
-//   --threads <n>       planner worker threads (0 = hardware concurrency,
-//                       1 = sequential; the plan is identical either way)
+//   --threads <n>       planner + tensor-kernel worker threads (0 =
+//                       hardware concurrency, 1 = sequential; plans and
+//                       kernel results are identical either way)
 //   --custom-backend    enable INT3 / custom-backend efficiency
 //   --heuristic         bitwidth transfer instead of the ILP
 //   --serve             run the serving simulation after planning
@@ -37,6 +38,7 @@
 #include "obs/metrics.h"
 #include "sim/plan_io.h"
 #include "hw/paper_clusters.h"
+#include "tensor/gemm.h"
 #include "model/registry.h"
 #include "quality/quality_model.h"
 #include "runtime/engine.h"
@@ -150,6 +152,9 @@ int main(int argc, char** argv) {
   cfg.custom_backend = args.custom_backend;
   cfg.use_heuristic = args.heuristic;
   cfg.num_threads = args.threads;
+  // Same knob drives the blocked GEMM kernels (results are bit-identical
+  // at every thread count; see src/tensor/gemm.h).
+  tensor::set_kernel_threads(args.threads);
 
   core::PlanResult r;
   if (!args.load_plan.empty()) {

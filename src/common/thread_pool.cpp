@@ -11,6 +11,12 @@ int resolve_threads(int requested) {
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
+namespace {
+thread_local bool t_on_pool_worker = false;
+}  // namespace
+
+bool on_pool_worker() { return t_on_pool_worker; }
+
 ThreadPool::ThreadPool(int n_threads) {
   const int n = std::max(1, n_threads);
   workers_.reserve(static_cast<std::size_t>(n));
@@ -29,6 +35,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  t_on_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {

@@ -24,6 +24,11 @@ namespace sq::common {
 /// otherwise the requested value (floored at 1).
 int resolve_threads(int requested);
 
+/// True when the calling thread is a ThreadPool worker (any pool).  Nested
+/// parallel constructs use this to degrade to inline execution instead of
+/// blocking on a pool whose workers may all be waiting on them.
+bool on_pool_worker();
+
 /// A plain fixed-size thread pool.  Tasks run in FIFO submission order;
 /// exceptions thrown by a task are captured in its future.
 class ThreadPool {

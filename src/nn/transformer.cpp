@@ -142,7 +142,9 @@ Tensor TinyTransformer::apply_linear(const Tensor& x, const Tensor& w,
                      static_cast<std::uint64_t>(static_cast<int>(op))));
   const sq::quant::QTensor qw(w, lq->bits, lq->scheme, lq->rounding, lq->group_size,
                               &rng);
-  return sq::tensor::matmul(x, qw.dequantize());
+  // Fused dequantize-matmul: weight panels are reconstructed inside the
+  // blocked kernel's pack step, never materialized as a full tensor.
+  return qw.matmul(x);
 }
 
 Tensor TinyTransformer::run_layer(const LayerWeights& lw, const Tensor& x, int layer,

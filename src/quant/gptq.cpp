@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
 
 namespace sq::quant {
@@ -98,22 +99,14 @@ GptqResult gptq_quantize(const Tensor& weights, const Tensor& calibration,
     return rtn_quantize(weights, calibration, opts);
   }
 
-  // H = 2 X^T X + damping * mean(diag) * I   (the GPTQ Hessian).
+  // H = 2 X^T X + damping * mean(diag) * I   (the GPTQ Hessian).  The Gram
+  // kernel runs the legacy sample loop term-for-term (ascending samples,
+  // double accumulation, lower triangle mirrored), threaded over rows —
+  // quantized weights stay bit-identical at every thread count.
   std::vector<double> h(in * in, 0.0);
-  for (std::size_t s = 0; s < calibration.rows(); ++s) {
-    const auto row = calibration.row(s);
-    for (std::size_t i = 0; i < in; ++i) {
-      const double xi = row[i];
-      for (std::size_t j = 0; j <= i; ++j) {
-        h[i * in + j] += 2.0 * xi * row[j];
-      }
-    }
-  }
+  sq::tensor::gram_xtx(calibration, 2.0, h);
   double diag_mean = 0.0;
-  for (std::size_t i = 0; i < in; ++i) {
-    for (std::size_t j = i + 1; j < in; ++j) h[i * in + j] = h[j * in + i];
-    diag_mean += h[i * in + i];
-  }
+  for (std::size_t i = 0; i < in; ++i) diag_mean += h[i * in + i];
   diag_mean /= static_cast<double>(in);
   for (std::size_t i = 0; i < in; ++i) {
     h[i * in + i] += std::max(opts.damping * diag_mean, 1e-9);

@@ -52,7 +52,8 @@ HessianProbe hessian_top_eigenvalue(const sq::tensor::Tensor& activations,
   if (d == 0 || activations.rows() == 0) return probe;
 
   // Gram matrix H = 2 X^T X, [d x d].  This is the expensive part the
-  // variance indicator avoids.
+  // variance indicator avoids.  Large d routes through the blocked kernels
+  // automatically (ops.cpp use_blocked) and stays bit-identical.
   const Tensor xt = sq::tensor::transpose(activations);
   Tensor h = sq::tensor::matmul(xt, activations);
   sq::tensor::scale_inplace(h, 2.0f);

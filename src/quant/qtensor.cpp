@@ -1,7 +1,11 @@
 #include "quant/qtensor.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
 
 namespace sq::quant {
 
@@ -60,6 +64,42 @@ sq::tensor::Tensor QTensor::dequantize() const {
                           params_[g], flat.subspan(begin, len));
   }
   return out;
+}
+
+sq::tensor::Tensor QTensor::matmul(const sq::tensor::Tensor& x) const {
+  assert(x.cols() == rows_ && "QTensor::matmul: inner dimensions must match");
+  // Outside the blocked kernels' win region (see ops.cpp use_blocked) the
+  // legacy materialize-then-multiply path is faster; results are
+  // bit-identical either way.
+  if (x.rows() < 48 || rows_ < 48 || cols_ < 128) {
+    return sq::tensor::matmul(x, dequantize());
+  }
+  // The filler writes the requested weight sub-block into the packed-B
+  // panel.  Runs concurrently from kernel worker threads; it only reads
+  // quantized storage, so that is safe.  The dequantization expression
+  // matches quantizer.cpp dequantize() term for term.
+  const sq::tensor::BBlockFill fill = [this](std::size_t k0, std::size_t k_len,
+                                             std::size_t j0, std::size_t j_len,
+                                             float* dst, std::size_t ld) {
+    for (std::size_t kk = 0; kk < k_len; ++kk) {
+      float* drow = dst + kk * ld;
+      std::size_t idx = (k0 + kk) * cols_ + j0;
+      const std::size_t end = idx + j_len;
+      if (bitwidth_ == Bitwidth::kFp16) {
+        for (; idx < end; ++idx) *drow++ = fp16_passthrough_[idx];
+        continue;
+      }
+      while (idx < end) {
+        const std::size_t g = idx / group_size_;
+        const std::size_t gend = std::min(end, (g + 1) * group_size_);
+        const QuantParams& p = params_[g];
+        for (; idx < gend; ++idx) {
+          *drow++ = p.scale * static_cast<float>(codes_[idx]) + p.zero;
+        }
+      }
+    }
+  };
+  return sq::tensor::matmul_fill_b(x, cols_, fill);
 }
 
 std::uint64_t QTensor::storage_bytes() const {

@@ -34,6 +34,14 @@ class QTensor {
   /// kernel feeds its FP16 MACs after dequantization).
   sq::tensor::Tensor dequantize() const;
 
+  /// Fused dequantize-matmul: x [s x rows] times the dequantized weights
+  /// [rows x cols] without materializing them — panels are dequantized
+  /// straight into the blocked GEMM's packed-B buffer, so each weight is
+  /// reconstructed exactly once per call and the working set stays
+  /// cache-sized.  Bit-identical to matmul(x, dequantize()) (asserted by
+  /// tests/gemm_test.cpp); threading follows the kernel layer (gemm.h).
+  sq::tensor::Tensor matmul(const sq::tensor::Tensor& x) const;
+
   /// Storage bytes of the packed representation: ceil(bits/8 per code,
   /// bit-packed) plus one fp16 scale (+ fp16 zero if asymmetric) per group.
   std::uint64_t storage_bytes() const;
