@@ -18,6 +18,16 @@
 //   --custom-backend    enable INT3 / custom-backend efficiency
 //   --heuristic         bitwidth transfer instead of the ILP
 //   --serve             run the serving simulation after planning
+//   --faults <spec>     inject a deterministic fault schedule into --serve
+//                       and recover via plan repair.  Spec grammar
+//                       (comma-separated, times in simulated seconds):
+//                         fail:<dev>@<t>         permanent device failure
+//                         fail:<dev>@<t>+<d>     transient failure (retried)
+//                         slow:<dev>@<t>[+<d>]x<f>   straggler, f > 1
+//                         link:<dev>@<t>[+<d>]x<f>   link degradation
+//                       "random:<seed>:<n>" draws <n> seeded events instead.
+//   --no-repair         with --faults: disable plan repair (baseline; a
+//                       permanent failure loses the remaining workload)
 //   --save-plan <file>  write the chosen plan to a file
 //   --load-plan <file>  skip planning, execute a previously saved plan
 //   --metrics <file>    enable the observability layer and write its JSON
@@ -34,6 +44,7 @@
 #include <string>
 
 #include "core/planner.h"
+#include "core/repair.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "sim/plan_io.h"
@@ -42,6 +53,8 @@
 #include "model/registry.h"
 #include "quality/quality_model.h"
 #include "runtime/engine.h"
+#include "runtime/recovery.h"
+#include "sim/faults.h"
 #include "workload/profile.h"
 
 namespace {
@@ -59,6 +72,8 @@ struct Args {
   bool heuristic = false;
   bool serve = false;
   bool list_models = false;
+  std::string faults;
+  bool no_repair = false;
   std::string save_plan;
   std::string load_plan;
   std::string metrics;
@@ -85,6 +100,8 @@ bool parse(int argc, char** argv, Args* out) {
     else if (a == "--custom-backend") out->custom_backend = true;
     else if (a == "--heuristic") out->heuristic = true;
     else if (a == "--serve") out->serve = true;
+    else if (a == "--faults") out->faults = next("--faults");
+    else if (a == "--no-repair") out->no_repair = true;
     else if (a == "--save-plan") out->save_plan = next("--save-plan");
     else if (a == "--load-plan") out->load_plan = next("--load-plan");
     else if (a == "--metrics") out->metrics = next("--metrics");
@@ -211,7 +228,72 @@ int main(int argc, char** argv) {
   std::printf("quality:  est PPL %.3f (base %.3f), est accuracy %.1f%%\n", r.est_ppl,
               quality.base_ppl(), r.est_accuracy);
 
-  if (args.serve) {
+  if (args.serve && !args.faults.empty()) {
+    // Fault-tolerant serving: inject the schedule, repair on failures.
+    sim::FaultSchedule schedule;
+    if (args.faults.rfind("random:", 0) == 0) {
+      unsigned long seed = 0, n = 4;
+      if (std::sscanf(args.faults.c_str(), "random:%lu:%lu", &seed, &n) < 1) {
+        std::fprintf(stderr, "bad --faults random spec (want random:<seed>:<n>)\n");
+        return 2;
+      }
+      schedule = sim::random_fault_schedule(seed, cluster.device_count(), 60.0,
+                                            static_cast<int>(n));
+    } else {
+      const sim::FaultParse fp = sim::parse_fault_spec(args.faults);
+      if (!fp.ok) {
+        std::fprintf(stderr, "bad --faults spec: %s\n", fp.error.c_str());
+        return 2;
+      }
+      schedule = fp.schedule;
+    }
+    std::printf("faults:   %s\n", schedule.empty() ? "(none)" : schedule.to_spec().c_str());
+
+    runtime::FaultTolerantEngine engine(
+        cluster, m, r.plan,
+        args.custom_backend ? runtime::Backend::kCustom
+                            : runtime::Backend::kVllmStyle);
+    engine.set_observe(!args.metrics.empty());
+    runtime::RecoveryOptions ropts;
+    ropts.faults = &schedule;
+    if (!args.no_repair) {
+      ropts.replan = core::make_replanner(m, latency, quality,
+                                          profile.planning_batch(m), cfg);
+    }
+    const auto rec = engine.serve_requests(requests, args.batch, ropts);
+    if (!rec.serve.feasible) {
+      std::printf("serve:    FAILED — %s\n", rec.serve.failure.c_str());
+      return 1;
+    }
+    for (const auto& e : rec.events) std::printf("event:    %s\n", e.c_str());
+    std::printf("serve:    %.1f tok/s productive (%.0f tokens in %.1fs, "
+                "%llu waves)\n",
+                rec.serve.throughput_tok_s, rec.serve.output_tokens,
+                rec.serve.total_seconds,
+                static_cast<unsigned long long>(rec.serve.waves));
+    std::printf("recovery: %.1f tok/s goodput over %.1fs wall; %llu faults, "
+                "%llu retries, %llu/%llu repairs, generation %d\n",
+                rec.goodput_tok_s, rec.wall_seconds,
+                static_cast<unsigned long long>(rec.faults_hit),
+                static_cast<unsigned long long>(rec.retries),
+                static_cast<unsigned long long>(rec.repairs_succeeded),
+                static_cast<unsigned long long>(rec.repairs_attempted),
+                rec.final_generation);
+    std::printf("          lost %.2fs, backoff %.2fs, replanning %.2fs "
+                "(wall %.2fs); %llu requests lost\n",
+                rec.lost_us * 1e-6, rec.backoff_us * 1e-6, rec.replan_us * 1e-6,
+                rec.replan_wall_s,
+                static_cast<unsigned long long>(rec.lost_requests));
+    if (!rec.serve.failure.empty()) {
+      std::printf("          degraded: %s\n", rec.serve.failure.c_str());
+    }
+    if (rec.final_generation > 0) {
+      // The repaired plan indexes the degraded cluster; rebuild it from the
+      // recorded exclusions so the summary names the right devices.
+      const auto deg = hw::degrade_cluster(cluster, rec.final_plan.excluded_devices);
+      std::printf("plan':    %s\n", rec.final_plan.summary(deg.cluster).c_str());
+    }
+  } else if (args.serve) {
     runtime::OfflineEngine engine(
         cluster, m, r.plan,
         args.custom_backend ? runtime::Backend::kCustom

@@ -44,6 +44,54 @@ std::string Cluster::summary() const {
   return os.str();
 }
 
+DegradedCluster degrade_cluster(const Cluster& c, const std::vector<int>& failed,
+                                const std::vector<DeviceDerate>& derates) {
+  const auto is_failed = [&](int dev) {
+    for (const int f : failed) {
+      if (f == dev) return true;
+    }
+    return false;
+  };
+
+  DegradedCluster out;
+  out.from_original.assign(static_cast<std::size_t>(c.device_count()), -1);
+
+  // Rebuild the node list with per-node survivor counts; nodes that lose
+  // every GPU vanish (their intra-node link has nothing left to join).
+  std::vector<Node> nodes;
+  std::vector<int> survivors;  // original indices, in order
+  for (int n = 0, dev = 0; n < static_cast<int>(c.nodes().size()); ++n) {
+    Node node = c.nodes()[static_cast<std::size_t>(n)];
+    int alive = 0;
+    for (int g = 0; g < node.gpu_count; ++g, ++dev) {
+      if (is_failed(dev)) continue;
+      ++alive;
+      survivors.push_back(dev);
+    }
+    node.gpu_count = alive;
+    if (alive > 0) nodes.push_back(std::move(node));
+  }
+  out.cluster = Cluster(c.name() + "-degraded", std::move(nodes),
+                        c.ethernet_gBps() * 8.0);
+  out.to_original = std::move(survivors);
+  for (int i = 0; i < static_cast<int>(out.to_original.size()); ++i) {
+    const int orig = out.to_original[static_cast<std::size_t>(i)];
+    out.from_original[static_cast<std::size_t>(orig)] = i;
+    // Carry the original spec over (it may already differ from the type
+    // default), then apply any sustained derate.
+    GpuSpec spec = c.spec(orig);
+    for (const auto& d : derates) {
+      if (d.device != orig || d.factor <= 1.0) continue;
+      spec.fp16_tflops /= d.factor;
+      spec.fp32_tflops /= d.factor;
+      spec.int8_tops /= d.factor;
+      spec.hbm_gbps /= d.factor;
+    }
+    out.cluster.set_spec(i, spec);
+  }
+  return out;
+}
+
 Cluster homogeneous_cluster(std::string name, GpuType type, int count,
                             double intra_gbps, double ethernet_gbit) {
   Node node;

@@ -58,6 +58,13 @@ class Cluster {
   /// Spec of flat device index `i`.
   const GpuSpec& spec(int i) const { return specs_.at(static_cast<std::size_t>(i)); }
 
+  /// Replace the spec of flat device `i`.  Used by cluster degradation
+  /// (straggler re-rating) and calibration what-ifs; the node's type label
+  /// is unchanged, only this device's capability record.
+  void set_spec(int i, const GpuSpec& s) {
+    specs_.at(static_cast<std::size_t>(i)) = s;
+  }
+
   /// True when devices `a` and `b` are on the same node.
   bool same_node(int a, int b) const;
 
@@ -86,5 +93,29 @@ class Cluster {
 Cluster homogeneous_cluster(std::string name, GpuType type, int count,
                             double intra_gbps = 300.0,
                             double ethernet_gbit = 800.0);
+
+/// A sustained compute/bandwidth derating of one device (straggler
+/// re-rating during plan repair): peaks and HBM bandwidth divided by
+/// `factor` (> 1).
+struct DeviceDerate {
+  int device = 0;       ///< Flat index in the ORIGINAL cluster.
+  double factor = 1.0;  ///< Throughput divisor.
+};
+
+/// A cluster with devices removed/derated, plus the index maps that tie it
+/// back to the original: plan repair runs the planner on `cluster` while
+/// fault schedules keep speaking original indices.
+struct DegradedCluster {
+  Cluster cluster;
+  std::vector<int> to_original;    ///< New flat index -> original flat index.
+  std::vector<int> from_original;  ///< Original -> new index, -1 if removed.
+};
+
+/// Build the degraded view of `c`: devices in `failed` are excluded (nodes
+/// losing every GPU disappear entirely), devices in `derates` keep their
+/// slot but with throughput peaks divided by the derate factor.  Device
+/// ordering is preserved, so the maps are monotone.
+DegradedCluster degrade_cluster(const Cluster& c, const std::vector<int>& failed,
+                                const std::vector<DeviceDerate>& derates = {});
 
 }  // namespace sq::hw

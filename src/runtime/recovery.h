@@ -1,0 +1,164 @@
+// Fault-tolerant offline serving: checkpointed execution plus plan repair.
+//
+// The FaultTolerantEngine wraps the serving loop of OfflineEngine with a
+// recovery protocol for the paper's production setting (shared
+// heterogeneous fleets where devices fail, throttle and straggle
+// mid-batch):
+//
+//   * Checkpointing.  Progress is tracked at wave granularity: a completed
+//     wave's requests (and their KV/layer state, which the simulator
+//     accounts per stage) are never re-executed; an aborted wave re-runs
+//     its requests from scratch, so no request is ever lost.
+//   * Transient faults retry with backoff: the engine waits out the
+//     failure window (plus a configurable backoff) and re-runs the wave,
+//     up to `max_retries` times.
+//   * Permanent faults trigger plan repair: the degraded cluster (failed
+//     devices excluded, sustained stragglers re-rated) is handed to a
+//     Replanner callback, which re-runs the planner search.  Repair is
+//     incremental — stage times of unchanged devices hit the shared
+//     memoized caches of the simulator and cost model.  The repaired plan
+//     serves the remaining workload; subsequent fault events are
+//     translated through the degraded cluster's index map.
+//   * Graceful degradation: when no feasible plan exists under the
+//     original constraints, the Replanner is re-invoked with an escalating
+//     `attempt` number (the core-side factory relaxes the quality budget,
+//     then falls back to the most robust uniform plan); micro-batch caps
+//     relax automatically because the scheduler re-derives them on the
+//     degraded cluster.
+//
+// Everything stays bit-deterministic for a fixed seed and thread count:
+// the serving clock is simulated, the replanning *charge* is a fixed
+// configured penalty (real planner wall time is recorded separately, for
+// observability only), and the planner itself picks identical plans at
+// every thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hw/cluster.h"
+#include "model/llm.h"
+#include "runtime/engine.h"
+#include "sim/faults.h"
+#include "sim/pipeline.h"
+#include "sim/plan.h"
+
+namespace sq::runtime {
+
+/// Result of one plan-repair attempt.
+struct ReplanOutcome {
+  bool feasible = false;
+  std::string failure;             ///< Reason when infeasible.
+  sq::sim::ExecutionPlan plan;     ///< Plan over the DEGRADED cluster.
+  double solve_seconds = 0.0;      ///< Real planner wall time (obs only).
+};
+
+/// Plan-repair callback: produce a plan for the degraded cluster.
+/// `attempt` escalates from 0 when the previous attempt was infeasible
+/// (0 = original constraints, 1 = relaxed quality budget, 2 = most robust
+/// fallback); see sq::core::make_replanner.
+using Replanner =
+    std::function<ReplanOutcome(const sq::hw::Cluster& degraded, int attempt)>;
+
+/// Recovery knobs.
+struct RecoveryOptions {
+  const sq::sim::FaultSchedule* faults = nullptr;  ///< Null = fault-free.
+  Replanner replan;            ///< Null = no-repair baseline: a permanent
+                               ///< failure loses the remaining workload.
+  int max_retries = 3;         ///< Wave re-runs per transient fault.
+  double backoff_s = 0.25;     ///< Simulated wait after a transient window.
+  int max_replan_attempts = 3; ///< Escalation ladder length.
+  /// Simulated seconds charged per repair (stands in for plan distribution
+  /// and weight re-sharding; a fixed charge keeps the timeline
+  /// deterministic regardless of real planner wall time).
+  double replan_penalty_s = 2.0;
+};
+
+/// Wave-granular progress checkpoint (exposed for tests/observability).
+struct Checkpoint {
+  std::uint64_t batches_done = 0;
+  std::uint64_t waves_done = 0;
+  double tokens_done = 0.0;    ///< Output tokens committed so far.
+  double sim_clock_us = 0.0;   ///< Global simulated clock.
+};
+
+/// Aggregate results of fault-tolerant serving.
+struct RecoveryStats {
+  /// Aggregates over COMPLETED work only (same semantics as
+  /// OfflineEngine::serve); `serve.total_seconds` counts productive
+  /// simulated time, excluding lost/backoff/replan windows.
+  ServeStats serve;
+  std::uint64_t faults_hit = 0;          ///< Aborts observed (incl. retries).
+  std::uint64_t retries = 0;             ///< Transient-fault wave re-runs.
+  std::uint64_t repairs_attempted = 0;   ///< Replanner invocations.
+  std::uint64_t repairs_succeeded = 0;   ///< Repairs that produced a plan.
+  int final_generation = 0;              ///< Plan generation serving ended on.
+  std::uint64_t lost_requests = 0;       ///< Requests never completed
+                                         ///< (no-repair baseline only).
+  double lost_us = 0.0;      ///< Simulated work discarded by aborts.
+  double backoff_us = 0.0;   ///< Simulated waiting on transient recovery.
+  double replan_us = 0.0;    ///< Simulated replanning charge.
+  double replan_wall_s = 0.0;  ///< Real planner wall time (NOT
+                               ///< deterministic; excluded from bit-compares).
+  /// Output tokens over the full wall clock including lost, backoff and
+  /// replanning windows — the recovery-aware throughput the fault bench
+  /// gates on.
+  double goodput_tok_s = 0.0;
+  /// Wall-clock seconds of the full timeline (productive + lost + backoff
+  /// + replanning).
+  double wall_seconds = 0.0;
+  /// Deterministic human-readable fault/repair timeline ("[12.3s] fail
+  /// dev2 ...", one entry per event); identical across thread counts.
+  std::vector<std::string> events;
+  Checkpoint checkpoint;  ///< Final progress checkpoint.
+  /// The plan serving ended on: the bound plan when no repair happened,
+  /// otherwise the last repaired plan (stage indices address the degraded
+  /// cluster; repair_generation / excluded_devices carry the provenance).
+  sq::sim::ExecutionPlan final_plan;
+};
+
+/// The fault-tolerant engine: binds (cluster, model, plan, backend) like
+/// OfflineEngine and adds the recovery protocol.
+class FaultTolerantEngine {
+ public:
+  FaultTolerantEngine(sq::hw::Cluster cluster, sq::model::LlmSpec model,
+                      sq::sim::ExecutionPlan plan,
+                      Backend backend = Backend::kVllmStyle,
+                      sq::sim::KernelModelOptions kernel = {.ground_truth = true,
+                                                            .seed = 11},
+                      bool memoize = true);
+
+  /// Serve the batches under the fault schedule in `opts`.  With a null
+  /// schedule this reproduces OfflineEngine::serve bit-for-bit (and
+  /// goodput == throughput).
+  RecoveryStats serve(const std::vector<sq::sim::BatchWorkload>& batches,
+                      const RecoveryOptions& opts = {}) const;
+
+  /// Convenience mirror of OfflineEngine::serve_requests.
+  RecoveryStats serve_requests(const std::vector<sq::workload::Request>& requests,
+                               std::uint64_t batch_size,
+                               const RecoveryOptions& opts = {},
+                               std::uint64_t chunk_tokens = 2048) const;
+
+  /// Record recovery metrics (fault/repair counters, replan latency,
+  /// recovery trace spans on the simulated clock) into the global obs
+  /// registry during serve.  Off by default; recording never changes
+  /// RecoveryStats.
+  void set_observe(bool on) { observe_ = on; }
+  bool observe() const { return observe_; }
+
+  double backend_efficiency() const;
+
+ private:
+  sq::hw::Cluster cluster_;
+  sq::model::LlmSpec model_;
+  sq::sim::ExecutionPlan plan_;
+  Backend backend_;
+  sq::sim::KernelModelOptions kernel_;
+  bool memoize_;
+  bool observe_ = false;
+};
+
+}  // namespace sq::runtime

@@ -240,6 +240,34 @@ SimResult simulate_batch(const sq::hw::Cluster& cluster, const sq::model::LlmSpe
   const double embed_us =
       km.embed_time_us(master_spec, m, eta * w.prompt_len) / eff;
 
+  // Fault machinery.  With no view attached every expression below reduces
+  // to the exact pre-fault arithmetic (end == start + dur, comm factor 1,
+  // `busy += dur + 0.0`), so fault-free runs are byte-identical to the
+  // pre-fault simulator; the same holds for an attached view whose windows
+  // never intersect this batch.  `fault_step` returns the (possibly
+  // slowdown-stretched) end of one work item and records the earliest
+  // intersection of scheduled work with a failure window — the abort point.
+  const FaultView* fv = opts.faults;
+  double abort_at = std::numeric_limits<double>::infinity();
+  int abort_dev = -1;
+  const auto fault_step = [&](const StageSpec& st, double start, double dur) {
+    const double nominal = start + dur;
+    if (fv == nullptr) return nominal;
+    const double end = fv->advance(st.devices, start, dur);
+    const double f = fv->next_failure(st.devices, start);
+    if (f < end && f < abort_at) {
+      abort_at = f;
+      abort_dev = st.devices.front();
+      for (const int d : st.devices) {
+        if (fv->failure_at(d, f) != nullptr) {
+          abort_dev = d;
+          break;
+        }
+      }
+    }
+    return end;
+  };
+
   // Trace accumulators; only maintained when a sink is attached.  Pure
   // observations of the schedule recurrence — they never feed back into it.
   const bool tracing = opts.trace != nullptr;
@@ -265,15 +293,21 @@ SimResult simulate_batch(const sq::hw::Cluster& cluster, const sq::model::LlmSpe
     const double frac = static_cast<double>(size) / static_cast<double>(eta);
     double upstream = static_cast<double>(mb) * embed_us + embed_us * frac;
     for (std::size_t s = 0; s < n_stages; ++s) {
-      const double arrive = upstream + (s > 0 ? pre_comm[s] * frac : 0.0);
+      double comm = s > 0 ? pre_comm[s] * frac : 0.0;
+      if (fv != nullptr && s > 0) {
+        comm *= fv->link_factor(plan.stages[s - 1].devices.back(),
+                                plan.stages[s].devices.front(), upstream);
+      }
+      const double arrive = upstream + comm;
       const double start = std::max(stage_free[s], arrive);
       const double dur = pre_t[s] * frac;
+      const double end = fault_step(plan.stages[s], start, dur);
       if (tracing) {
         first_start[s] = std::min(first_start[s], start);
-        if (s > 0) comm_in[s] += pre_comm[s] * frac;
+        if (s > 0) comm_in[s] += comm;
       }
-      stage_free[s] = start + dur;
-      busy[s] += dur;
+      stage_free[s] = end;
+      busy[s] += dur + (end - (start + dur));
       upstream = stage_free[s];
     }
     mb_prefill_done[mb] = upstream;
@@ -323,15 +357,21 @@ SimResult simulate_batch(const sq::hw::Cluster& cluster, const sq::model::LlmSpe
       const double frac = static_cast<double>(size) / static_cast<double>(xi);
       double upstream = token_ready[mb] + embed_dec * frac;
       for (std::size_t s = 0; s < n_stages; ++s) {
-        const double arrive = upstream + (s > 0 ? dec_comm[s] * frac : 0.0);
+        double comm = s > 0 ? dec_comm[s] * frac : 0.0;
+        if (fv != nullptr && s > 0) {
+          comm *= fv->link_factor(plan.stages[s - 1].devices.back(),
+                                  plan.stages[s].devices.front(), upstream);
+        }
+        const double arrive = upstream + comm;
         const double start = std::max(stage_free[s], arrive);
         const double dur = step_t[s] * frac;
+        const double end = fault_step(plan.stages[s], start, dur);
         if (tracing) {
           first_dec_start[s] = std::min(first_dec_start[s], start);
-          if (s > 0) comm_in[s] += dec_comm[s] * frac;
+          if (s > 0) comm_in[s] += comm;
         }
-        stage_free[s] = start + dur;
-        busy[s] += dur;
+        stage_free[s] = end;
+        busy[s] += dur + (end - (start + dur));
         upstream = stage_free[s];
       }
       token_ready[mb] = upstream + lm_head_dec * frac;
@@ -352,6 +392,28 @@ SimResult simulate_batch(const sq::hw::Cluster& cluster, const sq::model::LlmSpe
     idle += res.total_us > 0.0 ? 1.0 - busy[s] / res.total_us : 0.0;
   }
   res.bubble_fraction = n_stages > 0 ? idle / static_cast<double>(n_stages) : 0.0;
+
+  // Typed fault abort: the batch ends at the earliest intersection of
+  // scheduled work with a failure window.  Work after the abort point is
+  // discarded (the engine re-runs the wave after retry/repair), so timing
+  // and throughput fields beyond `total_us` are zeroed and no trace spans
+  // are emitted for the aborted wave.
+  if (fv != nullptr && abort_at < std::numeric_limits<double>::infinity()) {
+    res.faulted = true;
+    res.fault_us = abort_at;
+    res.fault_device = fv->original_of(abort_dev);
+    const FaultEvent* e = fv->failure_at(abort_dev, abort_at);
+    res.fault_transient = e != nullptr && !e->permanent();
+    res.fault_until_us = res.fault_transient
+                             ? e->end_us() - fv->base_us
+                             : std::numeric_limits<double>::infinity();
+    res.prefill_us = std::min(res.prefill_us, abort_at);
+    res.decode_us = 0.0;
+    res.total_us = abort_at;
+    res.throughput_tok_s = 0.0;
+    res.bubble_fraction = 0.0;
+    return res;
+  }
 
   if (tracing) {
     // One batch span, then per-stage compute/comm/bubble spans for this

@@ -17,6 +17,7 @@
 #include "hw/cluster.h"
 #include "model/llm.h"
 #include "obs/metrics.h"
+#include "sim/faults.h"
 #include "sim/kernel_model.h"
 #include "sim/memory.h"
 #include "sim/plan.h"
@@ -27,6 +28,16 @@ namespace sq::sim {
 struct SimResult {
   bool oom = false;           ///< Plan does not fit; times are meaningless.
   int oom_device = -1;        ///< First device over capacity.
+  /// Typed fault outcome: when a device-failure window intersects scheduled
+  /// work, the batch aborts at the earliest such intersection instead of
+  /// completing.  Only `fault_*` and `total_us` (the abort time) are
+  /// meaningful then; no exception is thrown and nothing crashes.
+  bool faulted = false;       ///< Work hit an active device failure.
+  int fault_device = -1;      ///< ORIGINAL cluster index of the failed device.
+  double fault_us = 0.0;      ///< Batch-local simulated time of the abort.
+  bool fault_transient = false;  ///< The failure window is finite (retryable).
+  double fault_until_us = 0.0;   ///< Local end of a transient window (+inf
+                                 ///< when the failure is permanent).
   double prefill_us = 0.0;    ///< Wall time until every request's prefill done.
   double decode_us = 0.0;     ///< Wall time of the decode phase.
   double total_us = 0.0;      ///< End-to-end batch latency.
@@ -58,6 +69,15 @@ struct PipelineOptions {
   /// branch, so simulation arithmetic and results are untouched: spans are
   /// observations of the schedule, never inputs to it.
   sq::obs::TraceSink* trace = nullptr;
+  /// When non-null, the fault timeline this batch executes under: compute
+  /// on slowed devices stretches, comm over degraded links stalls, and work
+  /// touching a failed device aborts the batch (SimResult::faulted).  Null
+  /// — or a view over an empty schedule, or one whose windows never
+  /// intersect this batch's work — reproduces the fault-free schedule
+  /// bit-for-bit.  Fault windows never enter the memoized stage times
+  /// (stretching is applied to the schedule, not the cached durations), so
+  /// the shared cache stays valid across healthy and degraded runs.
+  const FaultView* faults = nullptr;
 };
 
 /// Counters of the process-wide stage-time memoization cache.

@@ -42,6 +42,14 @@ struct ExecutionPlan {
   double predicted_batch_latency_us = 0.0;  ///< Objective (4), latency part.
   double quality_penalty = 0.0;             ///< Sum of omega over the plan.
 
+  /// Plan-repair provenance.  0 / empty for a plan produced on the healthy
+  /// cluster; a repaired plan carries the repair round that produced it and
+  /// the ORIGINAL flat device indices the degraded cluster excluded (its
+  /// own stage indices address the degraded cluster).  Informational for
+  /// validate(); round-tripped by plan_io.
+  int repair_generation = 0;
+  std::vector<int> excluded_devices;
+
   /// Total layers covered by the stages.
   int covered_layers() const;
 

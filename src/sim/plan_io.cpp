@@ -34,6 +34,17 @@ bool save_plan(const ExecutionPlan& plan, std::ostream& os) {
   os << "layer_bits";
   for (const Bitwidth b : plan.layer_bits) os << " " << sq::hw::bits(b);
   os << "\n";
+  // Repair provenance is only written when set, so plans from the healthy
+  // cluster serialize byte-identically to the pre-repair format (loaders of
+  // either vintage accept both).
+  if (plan.repair_generation != 0) {
+    os << "repair_generation " << plan.repair_generation << "\n";
+  }
+  if (!plan.excluded_devices.empty()) {
+    os << "excluded_devices";
+    for (const int d : plan.excluded_devices) os << " " << d;
+    os << "\n";
+  }
   for (const auto& st : plan.stages) {
     os << "stage";
     for (const int d : st.devices) os << " " << d;
@@ -89,6 +100,20 @@ LoadResult load_plan(std::istream& is) {
       }
       if (plan.layer_bits.empty()) return fail("empty layer_bits line");
       saw_layer_bits = true;
+    } else if (key == "repair_generation") {
+      if (!(ls >> plan.repair_generation) || plan.repair_generation < 0) {
+        return fail("bad repair_generation line: " + line);
+      }
+    } else if (key == "excluded_devices") {
+      plan.excluded_devices.clear();
+      int v = 0;
+      while (ls >> v) {
+        if (v < 0) return fail("negative excluded device " + std::to_string(v));
+        plan.excluded_devices.push_back(v);
+      }
+      if (plan.excluded_devices.empty()) {
+        return fail("empty excluded_devices line");
+      }
     } else if (key == "stage") {
       StageSpec st;
       std::string tok;

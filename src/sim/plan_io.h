@@ -10,6 +10,9 @@
 //   eta <n>
 //   xi <n>
 //   layer_bits <bit> <bit> ...          # one per decoder layer
+//   repair_generation <n>               # optional; repair round (default 0)
+//   excluded_devices <dev> ...          # optional; original indices a plan
+//                                       # repair excluded (default none)
 //   stage <dev> [<dev> ...] | <begin> <end>
 //   ...
 #pragma once

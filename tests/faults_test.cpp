@@ -1,0 +1,329 @@
+// Tests for deterministic fault injection: the spec grammar, the FaultView
+// query semantics, and the simulator's typed aborts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "hw/paper_clusters.h"
+#include "model/registry.h"
+#include "sim/faults.h"
+#include "sim/pipeline.h"
+
+namespace sq::sim {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using sq::hw::Bitwidth;
+
+ExecutionPlan plan_for(const sq::model::LlmSpec& m, int stages, Bitwidth b) {
+  ExecutionPlan p;
+  const int per = m.n_layers / stages;
+  for (int s = 0; s < stages; ++s) {
+    p.stages.push_back({{s}, s * per, s + 1 == stages ? m.n_layers : (s + 1) * per});
+  }
+  p.layer_bits.assign(static_cast<std::size_t>(m.n_layers), b);
+  p.prefill_microbatch = 4;
+  p.decode_microbatch = 16;
+  return p;
+}
+
+// ---- Spec grammar -------------------------------------------------------
+
+TEST(FaultSpec, ParsesEveryForm) {
+  const FaultParse p = parse_fault_spec(
+      "fail:2@1.5,fail:0@3+0.5,slow:1@0.25x2.5,slow:3@1+2x3,link:0@0.5x4");
+  ASSERT_TRUE(p.ok) << p.error;
+  ASSERT_EQ(p.schedule.events.size(), 5u);
+  // normalize() sorted by start time: slow:1@0.25, link:0@0.5, slow:3@1,
+  // fail:2@1.5, fail:0@3.
+  const auto& e = p.schedule.events;
+  EXPECT_EQ(e[0].kind, FaultKind::kSlowdown);
+  EXPECT_EQ(e[0].device, 1);
+  EXPECT_DOUBLE_EQ(e[0].start_us, 0.25e6);
+  EXPECT_DOUBLE_EQ(e[0].factor, 2.5);
+  EXPECT_TRUE(e[0].permanent());
+  EXPECT_EQ(e[1].kind, FaultKind::kLinkDegrade);
+  EXPECT_EQ(e[2].device, 3);
+  EXPECT_DOUBLE_EQ(e[2].duration_us, 2e6);
+  EXPECT_FALSE(e[2].permanent());
+  EXPECT_EQ(e[3].kind, FaultKind::kDeviceFail);
+  EXPECT_TRUE(e[3].permanent());
+  EXPECT_EQ(e[4].device, 0);
+  EXPECT_DOUBLE_EQ(e[4].duration_us, 0.5e6);
+}
+
+TEST(FaultSpec, RoundTripsThroughToSpec) {
+  const std::string spec = "slow:1@0.25x2.5,fail:2@1.5,fail:0@3+0.5";
+  const FaultParse p = parse_fault_spec(spec);
+  ASSERT_TRUE(p.ok) << p.error;
+  const FaultParse again = parse_fault_spec(p.schedule.to_spec());
+  ASSERT_TRUE(again.ok) << again.error;
+  ASSERT_EQ(again.schedule.events.size(), p.schedule.events.size());
+  for (std::size_t i = 0; i < p.schedule.events.size(); ++i) {
+    EXPECT_EQ(again.schedule.events[i].kind, p.schedule.events[i].kind);
+    EXPECT_EQ(again.schedule.events[i].device, p.schedule.events[i].device);
+    EXPECT_DOUBLE_EQ(again.schedule.events[i].start_us,
+                     p.schedule.events[i].start_us);
+    EXPECT_DOUBLE_EQ(again.schedule.events[i].factor, p.schedule.events[i].factor);
+  }
+}
+
+TEST(FaultSpec, EmptyStringIsEmptySchedule) {
+  const FaultParse p = parse_fault_spec("");
+  EXPECT_TRUE(p.ok);
+  EXPECT_TRUE(p.schedule.empty());
+}
+
+TEST(FaultSpec, RejectsMalformedItems) {
+  EXPECT_FALSE(parse_fault_spec("melt:0@1").ok);        // unknown kind
+  EXPECT_FALSE(parse_fault_spec("fail:0").ok);          // missing @t
+  EXPECT_FALSE(parse_fault_spec("fail:x@1").ok);        // bad device
+  EXPECT_FALSE(parse_fault_spec("slow:0@1x0.5").ok);    // factor <= 1
+  EXPECT_FALSE(parse_fault_spec("slow:0@1").ok);        // slowdown needs factor
+  EXPECT_FALSE(parse_fault_spec("fail:-1@1").ok);       // negative device
+  EXPECT_FALSE(parse_fault_spec("fail:0@-2").ok);       // negative time
+  EXPECT_FALSE(parse_fault_spec("fail:0@1+0").ok);      // zero duration
+}
+
+TEST(FaultSpec, RandomScheduleIsSeedDeterministic) {
+  const FaultSchedule a = random_fault_schedule(42, 4, 10.0, 6);
+  const FaultSchedule b = random_fault_schedule(42, 4, 10.0, 6);
+  ASSERT_EQ(a.events.size(), 6u);
+  EXPECT_EQ(a.to_spec(), b.to_spec());
+  EXPECT_NE(a.to_spec(), random_fault_schedule(43, 4, 10.0, 6).to_spec());
+  int permanent_failures = 0;
+  for (const auto& e : a.events) {
+    EXPECT_GE(e.device, 0);
+    EXPECT_LT(e.device, 4);
+    EXPECT_GE(e.start_us, 0.0);
+    EXPECT_LE(e.start_us, 10.0 * 1e6);
+    if (e.kind == FaultKind::kDeviceFail && e.permanent()) ++permanent_failures;
+    if (e.kind != FaultKind::kDeviceFail) {
+      EXPECT_GT(e.factor, 1.0);
+    }
+  }
+  EXPECT_LE(permanent_failures, 1);
+}
+
+// ---- FaultView queries --------------------------------------------------
+
+TEST(FaultView, AdvanceWithoutWindowsIsBitExact) {
+  const FaultParse p = parse_fault_spec("slow:3@1+1x2");
+  ASSERT_TRUE(p.ok);
+  FaultView v{&p.schedule, 0.0, nullptr};
+  const int devs[] = {0, 1};
+  const double start = 0.123456789, dur = 0.987654321;
+  // Device 3 is not involved; the result must be the exact fault-free sum.
+  EXPECT_EQ(v.advance(devs, start, dur), start + dur);
+  // Empty view likewise.
+  FaultView empty;
+  EXPECT_EQ(empty.advance(devs, start, dur), start + dur);
+}
+
+TEST(FaultView, AdvanceStretchesInsideWindow) {
+  // 2x slowdown on device 0 over [1 s, 3 s).
+  const FaultParse p = parse_fault_spec("slow:0@1+2x2");
+  ASSERT_TRUE(p.ok);
+  FaultView v{&p.schedule, 0.0, nullptr};
+  const int devs[] = {0};
+  // Entirely inside the window: stretched by exactly 2x.
+  EXPECT_DOUBLE_EQ(v.advance(devs, 1.2e6, 0.5e6), 1.2e6 + 1.0e6);
+  // Straddles the start: 0.5 s at full speed, remaining 0.5 s of work at 2x.
+  EXPECT_DOUBLE_EQ(v.advance(devs, 0.5e6, 1.0e6), 1e6 + 1.0e6);
+  // Straddles the end: 1 s of work at 2x consumes the window's last 2 s...
+  // window [1,3): 1 s of work takes 2 s, then remaining work runs free.
+  EXPECT_DOUBLE_EQ(v.advance(devs, 1e6, 1.5e6), 3e6 + 0.5e6);
+}
+
+TEST(FaultView, OverlappingSlowdownsComposeByMax) {
+  const FaultParse p = parse_fault_spec("slow:0@0x2,slow:0@0x3");
+  ASSERT_TRUE(p.ok);
+  FaultView v{&p.schedule, 0.0, nullptr};
+  const int devs[] = {0};
+  EXPECT_DOUBLE_EQ(v.advance(devs, 0.0, 1e6), 3e6);
+}
+
+TEST(FaultView, BaseUsShiftsWindowsToTheLocalClock) {
+  const FaultParse p = parse_fault_spec("slow:0@10x2");
+  ASSERT_TRUE(p.ok);
+  // Batch starting at global 10 s sees the window from local 0.
+  FaultView v{&p.schedule, 10e6, nullptr};
+  const int devs[] = {0};
+  EXPECT_DOUBLE_EQ(v.advance(devs, 0.0, 1e6), 2e6);
+  // A batch before the window is untouched (bit-exact).
+  FaultView early{&p.schedule, 0.0, nullptr};
+  EXPECT_EQ(early.advance(devs, 0.0, 1e6), 1e6);
+}
+
+TEST(FaultView, NextFailureFindsEarliestActiveWindow) {
+  const FaultParse p = parse_fault_spec("fail:1@2+1,fail:0@5");
+  ASSERT_TRUE(p.ok);
+  FaultView v{&p.schedule, 0.0, nullptr};
+  const int both[] = {0, 1};
+  EXPECT_DOUBLE_EQ(v.next_failure(both, 0.0), 2e6);    // window start
+  EXPECT_DOUBLE_EQ(v.next_failure(both, 2.5e6), 2.5e6); // already inside
+  EXPECT_DOUBLE_EQ(v.next_failure(both, 3.5e6), 5e6);  // transient over
+  const int only0[] = {0};
+  EXPECT_DOUBLE_EQ(v.next_failure(only0, 0.0), 5e6);
+  const int only2[] = {2};
+  EXPECT_EQ(v.next_failure(only2, 0.0), kInf);
+}
+
+TEST(FaultView, FailureAtDistinguishesTransientFromPermanent) {
+  const FaultParse p = parse_fault_spec("fail:1@2+1,fail:0@5");
+  ASSERT_TRUE(p.ok);
+  FaultView v{&p.schedule, 0.0, nullptr};
+  const FaultEvent* t = v.failure_at(1, 2.5e6);
+  ASSERT_NE(t, nullptr);
+  EXPECT_FALSE(t->permanent());
+  EXPECT_DOUBLE_EQ(t->end_us(), 3e6);
+  EXPECT_EQ(v.failure_at(1, 3.5e6), nullptr);
+  const FaultEvent* perm = v.failure_at(0, 6e6);
+  ASSERT_NE(perm, nullptr);
+  EXPECT_TRUE(perm->permanent());
+}
+
+TEST(FaultView, LinkFactorCoversEitherEndpoint) {
+  const FaultParse p = parse_fault_spec("link:1@0+10x4");
+  ASSERT_TRUE(p.ok);
+  FaultView v{&p.schedule, 0.0, nullptr};
+  EXPECT_DOUBLE_EQ(v.link_factor(0, 1, 5e6), 4.0);
+  EXPECT_DOUBLE_EQ(v.link_factor(1, 2, 5e6), 4.0);
+  EXPECT_DOUBLE_EQ(v.link_factor(0, 2, 5e6), 1.0);
+  EXPECT_DOUBLE_EQ(v.link_factor(0, 1, 11e6), 1.0);  // window over
+}
+
+TEST(FaultView, IndexMapTranslatesToOriginalDevices) {
+  const FaultParse p = parse_fault_spec("fail:3@1");
+  ASSERT_TRUE(p.ok);
+  // Degraded cluster where current device 2 is original device 3.
+  const std::vector<int> map = {0, 1, 3};
+  FaultView v{&p.schedule, 0.0, &map};
+  const int devs[] = {2};
+  EXPECT_DOUBLE_EQ(v.next_failure(devs, 0.0), 1e6);
+  const int healthy[] = {0, 1};
+  EXPECT_EQ(v.next_failure(healthy, 0.0), kInf);
+}
+
+// ---- Simulator integration ---------------------------------------------
+
+class FaultSimFixture : public ::testing::Test {
+ protected:
+  FaultSimFixture()
+      : m_(sq::model::spec(sq::model::ModelId::kOpt13B)),
+        c_(sq::hw::paper_cluster(9)),
+        plan_(plan_for(m_, 4, Bitwidth::kInt8)),
+        w_{16, 512, 32, 2048} {}
+  sq::model::LlmSpec m_;
+  sq::hw::Cluster c_;
+  ExecutionPlan plan_;
+  BatchWorkload w_;
+};
+
+TEST_F(FaultSimFixture, EmptyViewReproducesFaultFreeBits) {
+  const SimResult base = simulate_batch(c_, m_, plan_, w_);
+  FaultSchedule empty;
+  FaultView v{&empty, 0.0, nullptr};
+  PipelineOptions opts;
+  opts.faults = &v;
+  const SimResult r = simulate_batch(c_, m_, plan_, w_, opts);
+  EXPECT_FALSE(r.faulted);
+  EXPECT_EQ(r.total_us, base.total_us);
+  EXPECT_EQ(r.prefill_us, base.prefill_us);
+  EXPECT_EQ(r.decode_us, base.decode_us);
+  EXPECT_EQ(r.throughput_tok_s, base.throughput_tok_s);
+  EXPECT_EQ(r.bubble_fraction, base.bubble_fraction);
+}
+
+TEST_F(FaultSimFixture, NonIntersectingScheduleReproducesFaultFreeBits) {
+  const SimResult base = simulate_batch(c_, m_, plan_, w_);
+  // Failure long after the batch completes, slowdown on the far side of it.
+  const FaultParse p = parse_fault_spec("fail:0@1e6,slow:1@1e6x3");
+  ASSERT_TRUE(p.ok) << p.error;
+  FaultView v{&p.schedule, 0.0, nullptr};
+  PipelineOptions opts;
+  opts.faults = &v;
+  const SimResult r = simulate_batch(c_, m_, plan_, w_, opts);
+  EXPECT_FALSE(r.faulted);
+  EXPECT_EQ(r.total_us, base.total_us);
+  EXPECT_EQ(r.bubble_fraction, base.bubble_fraction);
+}
+
+TEST_F(FaultSimFixture, DeviceFailureAbortsWithTypedEvent) {
+  const SimResult base = simulate_batch(c_, m_, plan_, w_);
+  ASSERT_GT(base.total_us, 0.0);
+  // Fail device 2 halfway through the batch.
+  const double t_fail = base.total_us * 0.5;
+  FaultSchedule s;
+  s.events.push_back({FaultKind::kDeviceFail, 2, t_fail});
+  FaultView v{&s, 0.0, nullptr};
+  PipelineOptions opts;
+  opts.faults = &v;
+  const SimResult r = simulate_batch(c_, m_, plan_, w_, opts);
+  EXPECT_TRUE(r.faulted);
+  EXPECT_EQ(r.fault_device, 2);
+  EXPECT_FALSE(r.fault_transient);
+  EXPECT_GE(r.fault_us, t_fail);
+  EXPECT_LT(r.fault_us, base.total_us);
+  EXPECT_EQ(r.total_us, r.fault_us);
+  EXPECT_EQ(r.throughput_tok_s, 0.0);
+}
+
+TEST_F(FaultSimFixture, TransientFailureReportsWindowEnd) {
+  const SimResult base = simulate_batch(c_, m_, plan_, w_);
+  const double t_fail = base.total_us * 0.5;
+  FaultSchedule s;
+  s.events.push_back(
+      {FaultKind::kDeviceFail, 1, t_fail, 0.25e6});  // 0.25 s outage
+  FaultView v{&s, 0.0, nullptr};
+  PipelineOptions opts;
+  opts.faults = &v;
+  const SimResult r = simulate_batch(c_, m_, plan_, w_, opts);
+  ASSERT_TRUE(r.faulted);
+  EXPECT_TRUE(r.fault_transient);
+  EXPECT_DOUBLE_EQ(r.fault_until_us, t_fail + 0.25e6);
+}
+
+TEST_F(FaultSimFixture, StragglerSlowdownStretchesTheBatch) {
+  const SimResult base = simulate_batch(c_, m_, plan_, w_);
+  FaultSchedule s;
+  s.events.push_back({FaultKind::kSlowdown, 1, 0.0,
+                      std::numeric_limits<double>::infinity(), 3.0});
+  FaultView v{&s, 0.0, nullptr};
+  PipelineOptions opts;
+  opts.faults = &v;
+  const SimResult r = simulate_batch(c_, m_, plan_, w_, opts);
+  EXPECT_FALSE(r.faulted);
+  EXPECT_GT(r.total_us, base.total_us);
+}
+
+TEST_F(FaultSimFixture, LinkDegradationStretchesTheBatch) {
+  const SimResult base = simulate_batch(c_, m_, plan_, w_);
+  FaultSchedule s;
+  s.events.push_back({FaultKind::kLinkDegrade, 1, 0.0,
+                      std::numeric_limits<double>::infinity(), 50.0});
+  FaultView v{&s, 0.0, nullptr};
+  PipelineOptions opts;
+  opts.faults = &v;
+  const SimResult r = simulate_batch(c_, m_, plan_, w_, opts);
+  EXPECT_FALSE(r.faulted);
+  EXPECT_GT(r.total_us, base.total_us);
+}
+
+TEST_F(FaultSimFixture, FaultedRunsAreDeterministic) {
+  FaultSchedule s = random_fault_schedule(7, c_.device_count(), 0.5, 4);
+  FaultView v{&s, 0.0, nullptr};
+  PipelineOptions opts;
+  opts.faults = &v;
+  const SimResult a = simulate_batch(c_, m_, plan_, w_, opts);
+  const SimResult b = simulate_batch(c_, m_, plan_, w_, opts);
+  EXPECT_EQ(a.faulted, b.faulted);
+  EXPECT_EQ(a.total_us, b.total_us);
+  EXPECT_EQ(a.fault_device, b.fault_device);
+  EXPECT_EQ(a.fault_us, b.fault_us);
+}
+
+}  // namespace
+}  // namespace sq::sim

@@ -95,6 +95,42 @@ TEST(PlanIo, RejectsMissingSections) {
   EXPECT_FALSE(plan_from_string("splitquant-plan v1\nlayer_bits 16\n").ok);
 }
 
+TEST(PlanIo, RoundTripsRepairProvenance) {
+  ExecutionPlan p = sample_plan();
+  p.repair_generation = 2;
+  p.excluded_devices = {1, 3};
+  const LoadResult r = plan_from_string(plan_to_string(p));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.plan.repair_generation, 2);
+  EXPECT_EQ(r.plan.excluded_devices, (std::vector<int>{1, 3}));
+}
+
+TEST(PlanIo, HealthyPlanOmitsRepairKeysAndStaysByteIdentical) {
+  // Default provenance must not appear in the serialization at all: plan
+  // fingerprints of healthy plans are frozen by the CI baselines.
+  const ExecutionPlan p = sample_plan();
+  const std::string text = plan_to_string(p);
+  EXPECT_EQ(text.find("repair_generation"), std::string::npos);
+  EXPECT_EQ(text.find("excluded_devices"), std::string::npos);
+  ExecutionPlan q = p;
+  q.repair_generation = 0;
+  q.excluded_devices.clear();
+  EXPECT_EQ(plan_to_string(q), text);
+  const LoadResult r = plan_from_string(text);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.plan.repair_generation, 0);
+  EXPECT_TRUE(r.plan.excluded_devices.empty());
+}
+
+TEST(PlanIo, RejectsBadRepairKeys) {
+  const std::string base = "splitquant-plan v1\nlayer_bits 16\nstage 0 | 0 1\n";
+  EXPECT_FALSE(plan_from_string(base + "repair_generation -1\n").ok);
+  EXPECT_FALSE(plan_from_string(base + "repair_generation x\n").ok);
+  EXPECT_FALSE(plan_from_string(base + "excluded_devices\n").ok);
+  EXPECT_FALSE(plan_from_string(base + "excluded_devices -2\n").ok);
+  EXPECT_TRUE(plan_from_string(base + "repair_generation 1\nexcluded_devices 0\n").ok);
+}
+
 TEST(PlanIo, RejectsUnknownKey) {
   const LoadResult r = plan_from_string(
       "splitquant-plan v1\nbogus 1\nlayer_bits 16\nstage 0 | 0 1\n");
