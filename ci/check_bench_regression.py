@@ -40,11 +40,24 @@ import sys
 SCHEMA = "splitquant.bench.v1"
 
 
+class BenchFileError(Exception):
+    """A bench JSON file that cannot be used: missing, unreadable,
+    malformed JSON, or the wrong schema.  Reported as a one-line
+    diagnostic and a nonzero exit, never a stack trace."""
+
+
 def load(path: pathlib.Path) -> dict:
-    with open(path) as f:
-        doc = json.load(f)
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        raise BenchFileError(f"{path}: cannot read ({e.strerror or e})")
+    except json.JSONDecodeError as e:
+        raise BenchFileError(f"{path}: malformed JSON ({e})")
+    if not isinstance(doc, dict):
+        raise BenchFileError(f"{path}: top level is {type(doc).__name__}, want object")
     if doc.get("schema") != SCHEMA:
-        raise ValueError(f"{path}: schema {doc.get('schema')!r}, want {SCHEMA!r}")
+        raise BenchFileError(f"{path}: schema {doc.get('schema')!r}, want {SCHEMA!r}")
     return doc
 
 
@@ -99,7 +112,11 @@ def main() -> int:
         if not run_path.exists():
             failures.append(f"{base_path.name}: not produced by this run")
             continue
-        base, run = load(base_path), load(run_path)
+        try:
+            base, run = load(base_path), load(run_path)
+        except BenchFileError as e:
+            print(f"FAIL: {e}", file=sys.stderr)
+            return 1
         file_failures = compare(base_path.name, run, base, args.tolerance)
         failures.extend(file_failures)
         print(f"{base_path.name}: {len(base.get('rows', []))} rows, "

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Enforce the line-coverage floor on an lcov tracefile.
+
+The CI coverage leg builds with --coverage, runs the unit test tier,
+captures an lcov tracefile and calls this script with the tracefile and
+ci/coverage_floor.txt.  The floor is a ratchet: it holds the measured
+line coverage of src/ at the level the suite already achieves, so a PR
+that adds untested code in bulk fails the leg.  Raise the floor when
+coverage improves; never lower it without review.
+
+Tracefile parsing is self-contained (no lcov needed to *check*): an lcov
+.info file is a sequence of records, one per source file, where
+  SF:<path>   names the source file
+  DA:<line>,<hits>   one instrumented line and its execution count
+  end_of_record
+LH:/LF: summary lines are recomputed from the DA: lines, so tracefiles
+from any lcov version (or gcovr --lcov) are accepted.
+
+Usage: python3 ci/check_coverage.py <tracefile.info> <floor_file>
+           [--only src/]
+"""
+import argparse
+import pathlib
+import sys
+
+
+def parse_tracefile(path: pathlib.Path, only: str):
+    """Return {source_path: (lines_hit, lines_instrumented)}."""
+    per_file = {}
+    current = None
+    hit = total = 0
+    try:
+        text = path.read_text(errors="replace")
+    except OSError as e:
+        sys.exit(f"FAIL: {path}: cannot read ({e.strerror or e})")
+    for line in text.splitlines():
+        if line.startswith("SF:"):
+            current = line[3:].strip()
+            hit = total = 0
+        elif line.startswith("DA:") and current is not None:
+            parts = line[3:].split(",")
+            if len(parts) >= 2:
+                total += 1
+                try:
+                    if int(parts[1]) > 0:
+                        hit += 1
+                except ValueError:
+                    sys.exit(f"FAIL: {path}: malformed DA record {line!r}")
+        elif line.startswith("end_of_record") and current is not None:
+            if only in current and total > 0:
+                h, t = per_file.get(current, (0, 0))
+                per_file[current] = (h + hit, t + total)
+            current = None
+    return per_file
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("tracefile", type=pathlib.Path)
+    ap.add_argument("floor_file", type=pathlib.Path)
+    ap.add_argument("--only", default="/src/",
+                    help="substring a source path must contain to count "
+                         "(default: /src/ — the library, not tests/benches)")
+    args = ap.parse_args()
+
+    try:
+        floor = float(args.floor_file.read_text().split()[0])
+    except (OSError, IndexError, ValueError):
+        print(f"FAIL: {args.floor_file}: want a single percentage, "
+              f"e.g. '60.0'", file=sys.stderr)
+        return 1
+
+    per_file = parse_tracefile(args.tracefile, args.only)
+    if not per_file:
+        print(f"FAIL: {args.tracefile}: no records matching {args.only!r} "
+              f"(wrong tracefile, or capture ran before any test?)",
+              file=sys.stderr)
+        return 1
+
+    hit = sum(h for h, _ in per_file.values())
+    total = sum(t for _, t in per_file.values())
+    pct = 100.0 * hit / total
+
+    worst = sorted(per_file.items(), key=lambda kv: kv[1][0] / kv[1][1])[:10]
+    print(f"line coverage: {pct:.2f}% ({hit}/{total} lines, "
+          f"{len(per_file)} files, floor {floor:.2f}%)")
+    print("least-covered files:")
+    for path, (h, t) in worst:
+        print(f"  {100.0 * h / t:6.2f}%  {h:5}/{t:<5}  {path}")
+
+    if pct < floor:
+        print(f"FAIL: line coverage {pct:.2f}% is below the floor "
+              f"{floor:.2f}% (ci/coverage_floor.txt)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,7 +28,18 @@
 //                       "random:<seed>:<n>" draws <n> seeded events instead.
 //   --no-repair         with --faults: disable plan repair (baseline; a
 //                       permanent failure loses the remaining workload)
-//   --save-plan <file>  write the chosen plan to a file
+//   --shards <K>        partition the cluster into K disjoint replica
+//                       groups (sharded planner, src/core/sharding.h) and
+//                       plan each; with --serve the jobs run through the
+//                       fleet engine's deterministic multi-job scheduler.
+//                       K=1 reproduces the plain planner.
+//   --jobs <spec>       multi-job workload for --shards --serve:
+//                       comma-separated <name>:<requests> items, each
+//                       sampled independently from --workload (seeded by
+//                       job position).  Default: one job per shard of
+//                       --requests each.
+//   --save-plan <file>  write the chosen plan to a file (with --shards,
+//                       group g goes to <file>.shard<g>)
 //   --load-plan <file>  skip planning, execute a previously saved plan
 //   --metrics <file>    enable the observability layer and write its JSON
 //                       export (planner counters, cache hit rates, serving
@@ -42,9 +53,12 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/planner.h"
 #include "core/repair.h"
+#include "core/sharding.h"
+#include "runtime/fleet.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "sim/plan_io.h"
@@ -74,6 +88,8 @@ struct Args {
   bool list_models = false;
   std::string faults;
   bool no_repair = false;
+  int shards = 1;
+  std::string jobs;
   std::string save_plan;
   std::string load_plan;
   std::string metrics;
@@ -102,6 +118,8 @@ bool parse(int argc, char** argv, Args* out) {
     else if (a == "--serve") out->serve = true;
     else if (a == "--faults") out->faults = next("--faults");
     else if (a == "--no-repair") out->no_repair = true;
+    else if (a == "--shards") out->shards = std::atoi(next("--shards"));
+    else if (a == "--jobs") out->jobs = next("--jobs");
     else if (a == "--save-plan") out->save_plan = next("--save-plan");
     else if (a == "--load-plan") out->load_plan = next("--load-plan");
     else if (a == "--metrics") out->metrics = next("--metrics");
@@ -118,6 +136,193 @@ sq::workload::Dataset dataset_of(const std::string& name) {
   if (name == "loogle") return sq::workload::Dataset::kLoogle;
   if (name == "sharegpt") return sq::workload::Dataset::kShareGpt;
   return sq::workload::Dataset::kCnnDailyMail;
+}
+
+/// Parse --faults into a schedule (0 = ok, 2 = bad spec, diagnostics on
+/// stderr).  Shared by the single-pipeline and fleet serving paths.
+int parse_faults(const std::string& spec, int device_count,
+                 sq::sim::FaultSchedule* out) {
+  if (spec.rfind("random:", 0) == 0) {
+    unsigned long seed = 0, n = 4;
+    if (std::sscanf(spec.c_str(), "random:%lu:%lu", &seed, &n) < 1) {
+      std::fprintf(stderr, "bad --faults random spec (want random:<seed>:<n>)\n");
+      return 2;
+    }
+    *out = sq::sim::random_fault_schedule(seed, device_count, 60.0,
+                                          static_cast<int>(n));
+    return 0;
+  }
+  const sq::sim::FaultParse fp = sq::sim::parse_fault_spec(spec);
+  if (!fp.ok) {
+    std::fprintf(stderr, "bad --faults spec: %s\n", fp.error.c_str());
+    return 2;
+  }
+  *out = fp.schedule;
+  return 0;
+}
+
+/// Build the --jobs workload: "<name>:<requests>,..." items, each sampled
+/// independently (seed varies by position so jobs differ); an empty spec
+/// defaults to one job of `default_requests` per shard.
+int parse_jobs(const Args& args, const sq::model::LlmSpec& m,
+               std::vector<sq::runtime::FleetJob>* out) {
+  struct Item {
+    std::string name;
+    int requests = 0;
+  };
+  std::vector<Item> items;
+  if (args.jobs.empty()) {
+    for (int i = 0; i < args.shards; ++i) {
+      items.push_back({"job-" + std::to_string(i), args.requests});
+    }
+  } else {
+    std::size_t pos = 0;
+    while (pos <= args.jobs.size()) {
+      const std::size_t comma = args.jobs.find(',', pos);
+      const std::string item = args.jobs.substr(
+          pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      pos = comma == std::string::npos ? args.jobs.size() + 1 : comma + 1;
+      if (item.empty()) continue;
+      const std::size_t colon = item.find(':');
+      const int n = colon == std::string::npos
+                        ? 0
+                        : std::atoi(item.c_str() + colon + 1);
+      if (colon == std::string::npos || colon == 0 || n <= 0) {
+        std::fprintf(stderr,
+                     "bad --jobs item '%s' (want <name>:<requests>)\n",
+                     item.c_str());
+        return 2;
+      }
+      items.push_back({item.substr(0, colon), n});
+    }
+    if (items.empty()) {
+      std::fprintf(stderr, "--jobs spec has no jobs\n");
+      return 2;
+    }
+  }
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto reqs = sq::workload::sample(
+        dataset_of(args.workload), items[i].requests, 1234 + i);
+    out->push_back({items[i].name,
+                    sq::workload::make_batches(reqs, m, args.batch)});
+  }
+  return 0;
+}
+
+/// Export --metrics if requested (0 = ok, 2 = cannot write).
+int export_metrics(const Args& args) {
+  if (args.metrics.empty()) return 0;
+  const sq::obs::Snapshot snap = sq::obs::Registry::global().snapshot();
+  std::ofstream mout(args.metrics);
+  if (!mout) {
+    std::fprintf(stderr, "cannot write %s\n", args.metrics.c_str());
+    return 2;
+  }
+  sq::obs::write_metrics_json(snap, mout);
+  std::printf("metrics:  %s (%zu counters, %zu gauges, %zu histograms, "
+              "%zu spans)\n",
+              args.metrics.c_str(), snap.counters.size(), snap.gauges.size(),
+              snap.histograms.size(), snap.spans.size());
+  sq::obs::write_metrics_summary(snap, std::cout);
+  return 0;
+}
+
+/// The --shards path: sharded planning, then (with --serve) multi-job
+/// fleet serving.  Returns the process exit code.
+int run_sharded(const Args& args, const sq::model::LlmSpec& m,
+                const sq::hw::Cluster& cluster,
+                sq::cost::LatencyCostModel& latency,
+                const sq::quality::QualityModel& quality,
+                const sq::core::PlannerConfig& cfg,
+                const sq::workload::Profile& profile) {
+  namespace core = sq::core;
+  namespace runtime = sq::runtime;
+
+  core::ShardingConfig scfg;
+  scfg.num_shards = args.shards;
+  scfg.planner = cfg;
+  const core::ShardPlanResult sres = core::plan_sharded(
+      m, cluster, profile.planning_batch(m), latency, quality, scfg);
+
+  if (!sres.feasible) {
+    std::printf("result:   INFEASIBLE — %s\n", sres.failure.c_str());
+    return 1;
+  }
+  std::printf("shards:   %zu groups [%s], predicted %.1f tok/s aggregate "
+              "(solve %.2fs, %d/%d partitions feasible)\n",
+              sres.groups.size(), sres.partition.c_str(),
+              sres.total_predicted_tok_s, sres.solve_seconds,
+              sres.partitions_feasible, sres.partitions_enumerated);
+  for (std::size_t g = 0; g < sres.groups.size(); ++g) {
+    const auto& rg = sres.groups[g];
+    std::printf("group %zu:  %s | %s | %.1f tok/s predicted\n", g,
+                rg.cluster.summary().c_str(),
+                rg.plan.summary(rg.cluster).c_str(), rg.predicted_tok_s);
+  }
+  if (!args.save_plan.empty()) {
+    for (std::size_t g = 0; g < sres.groups.size(); ++g) {
+      const std::string path = args.save_plan + ".shard" + std::to_string(g);
+      std::ofstream outf(path);
+      if (!outf || !sq::sim::save_plan(sres.groups[g].plan, outf)) {
+        std::fprintf(stderr, "failed to write %s\n", path.c_str());
+        return 2;
+      }
+      std::printf("saved:    %s\n", path.c_str());
+    }
+  }
+  if (!args.serve) return 0;
+
+  std::vector<runtime::FleetJob> jobs;
+  if (const int rc = parse_jobs(args, m, &jobs)) return rc;
+
+  sq::sim::FaultSchedule schedule;
+  if (!args.faults.empty()) {
+    if (const int rc = parse_faults(args.faults, cluster.device_count(), &schedule)) {
+      return rc;
+    }
+    std::printf("faults:   %s\n",
+                schedule.empty() ? "(none)" : schedule.to_spec().c_str());
+  }
+
+  runtime::FleetEngine fleet(m, sres.groups,
+                             args.custom_backend ? runtime::Backend::kCustom
+                                                 : runtime::Backend::kVllmStyle);
+  fleet.set_observe(!args.metrics.empty());
+  runtime::FleetOptions fopts;
+  fopts.num_threads = args.threads;
+  if (!schedule.empty()) fopts.faults = &schedule;
+  if (!args.faults.empty() && !args.no_repair) {
+    fopts.replan = core::make_replanner(m, latency, quality,
+                                        profile.planning_batch(m), cfg);
+  }
+  const runtime::FleetStats fs = fleet.serve(jobs, fopts);
+  if (!fs.feasible) {
+    std::printf("serve:    FAILED — %s\n", fs.failure.c_str());
+    return 1;
+  }
+  for (const auto& e : fs.events) std::printf("event:    %s\n", e.c_str());
+  for (const auto& out : fs.jobs) {
+    if (out.group < 0) {
+      std::printf("job %-8s %s\n", (out.job + ":").c_str(), out.failure.c_str());
+    } else {
+      std::printf("job %-8s group %d [%.1fs .. %.1fs] %.0f tokens%s%s\n",
+                  (out.job + ":").c_str(), out.group, out.start_s, out.end_s,
+                  out.recovery.serve.output_tokens,
+                  out.completed ? "" : " FAILED: ",
+                  out.completed ? "" : out.failure.c_str());
+    }
+  }
+  std::printf("fleet:    %.1f tok/s aggregate (%.0f tokens, makespan %.1fs); "
+              "%llu/%zu jobs completed, %llu rejected, %llu reassigned; "
+              "%llu groups retired, %llu faults, %llu repairs\n",
+              fs.aggregate_tok_s, fs.output_tokens, fs.makespan_s,
+              static_cast<unsigned long long>(fs.jobs_completed), fs.jobs.size(),
+              static_cast<unsigned long long>(fs.jobs_rejected),
+              static_cast<unsigned long long>(fs.jobs_reassigned),
+              static_cast<unsigned long long>(fs.groups_retired),
+              static_cast<unsigned long long>(fs.faults_hit),
+              static_cast<unsigned long long>(fs.repairs));
+  return 0;
 }
 
 }  // namespace
@@ -172,6 +377,26 @@ int main(int argc, char** argv) {
   // Same knob drives the blocked GEMM kernels (results are bit-identical
   // at every thread count; see src/tensor/gemm.h).
   tensor::set_kernel_threads(args.threads);
+
+  if (args.shards < 1) {
+    std::fprintf(stderr, "--shards must be >= 1\n");
+    return 2;
+  }
+  if (args.shards > 1) {
+    if (!args.load_plan.empty()) {
+      std::fprintf(stderr, "--load-plan is not supported with --shards\n");
+      return 2;
+    }
+    std::printf("model:    %s on %s\n", m.name.c_str(), cluster.summary().c_str());
+    std::printf("workload: %s, %d requests, batch %llu (prompt p90 %.0f, "
+                "out mean %.0f)\n",
+                args.workload.c_str(), args.requests,
+                static_cast<unsigned long long>(args.batch), profile.p90_prompt,
+                profile.mean_output);
+    const int rc = run_sharded(args, m, cluster, latency, quality, cfg, profile);
+    if (rc != 0) return rc;
+    return export_metrics(args);
+  }
 
   core::PlanResult r;
   if (!args.load_plan.empty()) {
@@ -231,21 +456,8 @@ int main(int argc, char** argv) {
   if (args.serve && !args.faults.empty()) {
     // Fault-tolerant serving: inject the schedule, repair on failures.
     sim::FaultSchedule schedule;
-    if (args.faults.rfind("random:", 0) == 0) {
-      unsigned long seed = 0, n = 4;
-      if (std::sscanf(args.faults.c_str(), "random:%lu:%lu", &seed, &n) < 1) {
-        std::fprintf(stderr, "bad --faults random spec (want random:<seed>:<n>)\n");
-        return 2;
-      }
-      schedule = sim::random_fault_schedule(seed, cluster.device_count(), 60.0,
-                                            static_cast<int>(n));
-    } else {
-      const sim::FaultParse fp = sim::parse_fault_spec(args.faults);
-      if (!fp.ok) {
-        std::fprintf(stderr, "bad --faults spec: %s\n", fp.error.c_str());
-        return 2;
-      }
-      schedule = fp.schedule;
+    if (const int rc = parse_faults(args.faults, cluster.device_count(), &schedule)) {
+      return rc;
     }
     std::printf("faults:   %s\n", schedule.empty() ? "(none)" : schedule.to_spec().c_str());
 
@@ -311,19 +523,5 @@ int main(int argc, char** argv) {
                 100.0 * stats.mean_bubble);
   }
 
-  if (!args.metrics.empty()) {
-    const obs::Snapshot snap = obs::Registry::global().snapshot();
-    std::ofstream mout(args.metrics);
-    if (!mout) {
-      std::fprintf(stderr, "cannot write %s\n", args.metrics.c_str());
-      return 2;
-    }
-    obs::write_metrics_json(snap, mout);
-    std::printf("metrics:  %s (%zu counters, %zu gauges, %zu histograms, "
-                "%zu spans)\n",
-                args.metrics.c_str(), snap.counters.size(), snap.gauges.size(),
-                snap.histograms.size(), snap.spans.size());
-    obs::write_metrics_summary(snap, std::cout);
-  }
-  return 0;
+  return export_metrics(args);
 }

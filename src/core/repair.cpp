@@ -1,0 +1,32 @@
+#include "core/repair.h"
+
+#include <utility>
+
+namespace sq::core {
+
+sq::runtime::Replanner make_replanner(const sq::model::LlmSpec& model,
+                                      sq::cost::LatencyCostModel& latency,
+                                      const sq::quality::QualityModel& quality,
+                                      const sq::sim::BatchWorkload& workload,
+                                      const PlannerConfig& cfg) {
+  return [&model, &latency, &quality, workload, cfg](
+             const sq::hw::Cluster& degraded,
+             int attempt) -> sq::runtime::ReplanOutcome {
+    Planner::profile_all(latency, degraded, cfg.bits);
+    const Planner planner(model, degraded, workload, latency, quality);
+
+    PlannerConfig repair_cfg = cfg;
+    if (attempt >= 1) repair_cfg.max_ppl_delta = -1.0;  // Relax quality budget.
+    PlanResult r = attempt >= 2 ? planner.plan_uniform(repair_cfg)
+                                : planner.plan(repair_cfg);
+
+    sq::runtime::ReplanOutcome out;
+    out.feasible = r.feasible;
+    out.failure = std::move(r.failure);
+    out.plan = std::move(r.plan);
+    out.solve_seconds = r.solve_seconds;
+    return out;
+  };
+}
+
+}  // namespace sq::core

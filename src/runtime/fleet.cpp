@@ -1,0 +1,382 @@
+#include "runtime/fleet.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <numeric>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "runtime/scheduler.h"
+
+namespace sq::runtime {
+
+namespace {
+
+/// Deterministic seconds rendering for the event log.
+std::string fmt_s(double s) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3fs", s);
+  return buf;
+}
+
+/// Mutable serving state of one replica group.  Owned by exactly one
+/// scheduler worker at a time (groups are the unit of parallel execution),
+/// so no synchronization is needed.
+struct GroupState {
+  sq::hw::Cluster cluster;
+  std::vector<int> to_original;       ///< Group-local -> fleet index.
+  sq::sim::ExecutionPlan plan;
+  sq::sim::FaultSchedule schedule;    ///< Group-local indices, fleet clock.
+  double rate_tok_s = 1.0;            ///< LPT speed weight.
+  double elapsed_us = 0.0;            ///< Group-local simulated clock.
+  bool retired = false;
+  std::vector<std::string> events;
+};
+
+/// True when every batch of `job` can hold at least one request on the
+/// group's current (cluster, plan): weights fit and the tightest stage has
+/// KV room for a single full-context request.
+bool can_run(const GroupState& st, const sq::model::LlmSpec& model,
+             const FleetJob& job) {
+  for (const auto& b : job.batches) {
+    if (max_concurrency(st.cluster, model, st.plan, b) == 0) return false;
+  }
+  return true;
+}
+
+/// Fold a permanent repair performed inside a job's FaultTolerantEngine run
+/// back into the group's standing state: degrade the group cluster by the
+/// excluded devices (permanent straggler deratings baked in, mirroring the
+/// recovery engine), adopt the repaired plan, and remap the remaining
+/// schedule to the new local indices.
+void fold_repair(GroupState* st, const RecoveryStats& rec) {
+  std::vector<sq::hw::DeviceDerate> derates;
+  for (const auto& e : st->schedule.events) {
+    if (e.kind == sq::sim::FaultKind::kSlowdown && e.permanent() &&
+        e.factor > 1.0) {
+      derates.push_back({e.device, e.factor});
+    }
+  }
+  const sq::hw::DegradedCluster deg = sq::hw::degrade_cluster(
+      st->cluster, rec.final_plan.excluded_devices, derates);
+
+  sq::sim::FaultSchedule remapped;
+  for (const auto& e : st->schedule.events) {
+    const bool baked = e.kind == sq::sim::FaultKind::kSlowdown &&
+                       e.permanent() && e.factor > 1.0;
+    if (baked) continue;
+    const int local = deg.from_original[static_cast<std::size_t>(e.device)];
+    if (local < 0) continue;  // Device excluded by the repair.
+    sq::sim::FaultEvent ev = e;
+    ev.device = local;
+    remapped.events.push_back(ev);
+  }
+  remapped.normalize();
+
+  std::vector<int> chained;
+  chained.reserve(deg.to_original.size());
+  for (const int i : deg.to_original) {
+    chained.push_back(st->to_original.empty()
+                          ? i
+                          : st->to_original[static_cast<std::size_t>(i)]);
+  }
+
+  // The repaired plan came out of a fresh planner run and therefore lost
+  // the shard stamps; re-apply them so provenance survives repair.
+  sq::sim::ExecutionPlan plan = rec.final_plan;
+  plan.shard_index = st->plan.shard_index;
+  plan.num_shards = st->plan.num_shards;
+
+  st->cluster = deg.cluster;
+  st->to_original = std::move(chained);
+  st->plan = std::move(plan);
+  st->schedule = std::move(remapped);
+}
+
+}  // namespace
+
+double FleetJob::work_tokens() const {
+  double t = 0.0;
+  for (const auto& b : batches) {
+    t += static_cast<double>(b.batch_size) *
+         static_cast<double>(b.prompt_len + b.gen_tokens);
+  }
+  return t;
+}
+
+FleetEngine::FleetEngine(sq::model::LlmSpec model,
+                         std::vector<ReplicaGroup> groups, Backend backend,
+                         sq::sim::KernelModelOptions kernel, bool memoize)
+    : model_(std::move(model)),
+      groups_(std::move(groups)),
+      backend_(backend),
+      kernel_(kernel),
+      memoize_(memoize) {}
+
+FleetStats FleetEngine::serve(const std::vector<FleetJob>& jobs,
+                              const FleetOptions& opts) const {
+  FleetStats stats;
+  if (groups_.empty()) {
+    stats.feasible = false;
+    stats.failure = "fleet has no replica groups";
+    return stats;
+  }
+
+  const std::size_t n_groups = groups_.size();
+  std::vector<GroupState> state(n_groups);
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    const ReplicaGroup& rg = groups_[g];
+    const std::string err = rg.plan.validate(model_, rg.cluster);
+    if (!err.empty()) {
+      stats.feasible = false;
+      stats.failure =
+          "group " + std::to_string(g) + " plan invalid: " + err;
+      return stats;
+    }
+    GroupState& st = state[g];
+    st.cluster = rg.cluster;
+    st.to_original = rg.to_original;
+    st.plan = rg.plan;
+    st.rate_tok_s = rg.predicted_tok_s > 0.0 ? rg.predicted_tok_s : 1.0;
+    // Translate the fleet-level schedule into group-local indices; events
+    // on devices outside this group are inert here (they belong to some
+    // other group or to no group at all).
+    if (opts.faults != nullptr) {
+      for (const auto& e : opts.faults->events) {
+        int local = -1;
+        if (st.to_original.empty()) {
+          if (e.device >= 0 && e.device < st.cluster.device_count()) {
+            local = e.device;
+          }
+        } else {
+          for (std::size_t i = 0; i < st.to_original.size(); ++i) {
+            if (st.to_original[i] == e.device) {
+              local = static_cast<int>(i);
+              break;
+            }
+          }
+        }
+        if (local < 0) continue;
+        sq::sim::FaultEvent ev = e;
+        ev.device = local;
+        st.schedule.events.push_back(ev);
+      }
+      st.schedule.normalize();
+    }
+  }
+
+  stats.jobs.resize(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) stats.jobs[j].job = jobs[j].name;
+
+  // ---- Scheduling rounds: LPT assignment, parallel group execution,
+  // re-assignment of jobs stranded on retired groups. -------------------
+  sq::common::ThreadPool* pool = nullptr;
+  std::unique_ptr<sq::common::ThreadPool> owned_pool;
+  const int n_threads = sq::common::resolve_threads(opts.num_threads);
+  if (n_threads > 1 && n_groups > 1 && !sq::common::on_pool_worker()) {
+    owned_pool = std::make_unique<sq::common::ThreadPool>(
+        std::min<int>(n_threads, static_cast<int>(n_groups)));
+    pool = owned_pool.get();
+  }
+
+  std::vector<std::size_t> pending(jobs.size());
+  std::iota(pending.begin(), pending.end(), 0);
+
+  while (!pending.empty()) {
+    std::vector<std::size_t> active;
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      if (!state[g].retired) active.push_back(g);
+    }
+    if (active.empty()) {
+      for (const std::size_t j : pending) {
+        JobOutcome& out = stats.jobs[j];
+        out.failure = "no serving groups remain (all retired)";
+        stats.events.push_back("job '" + jobs[j].name + "' lost: " + out.failure);
+      }
+      break;
+    }
+
+    // LPT order: work proxy descending, input index ascending on ties.
+    std::vector<std::size_t> order = pending;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return jobs[a].work_tokens() > jobs[b].work_tokens();
+                     });
+
+    // Greedy finish-time assignment over the groups' predicted rates,
+    // starting from each group's already-elapsed timeline.
+    std::vector<double> load_s(n_groups, 0.0);
+    for (const std::size_t g : active) load_s[g] = state[g].elapsed_us * 1e-6;
+    std::vector<std::vector<std::size_t>> queue(n_groups);
+    std::vector<std::size_t> still_pending;
+    for (const std::size_t j : order) {
+      std::size_t best = n_groups;
+      double best_t = std::numeric_limits<double>::infinity();
+      for (const std::size_t g : active) {
+        if (!can_run(state[g], model_, jobs[j])) continue;
+        const double t = load_s[g] + jobs[j].work_tokens() / state[g].rate_tok_s;
+        if (t < best_t) {
+          best_t = t;
+          best = g;
+        }
+      }
+      if (best == n_groups) {
+        JobOutcome& out = stats.jobs[j];
+        out.group = -1;
+        out.failure = "rejected: no replica group can hold the job";
+        ++stats.jobs_rejected;
+        stats.events.push_back("job '" + jobs[j].name + "' " + out.failure);
+        continue;
+      }
+      queue[best].push_back(j);
+      load_s[best] += jobs[j].work_tokens() / state[best].rate_tok_s;
+    }
+
+    // Execute every group's queue; a group's jobs run in order, groups run
+    // concurrently.  Each task only touches its own GroupState and its own
+    // JobOutcome slots, so results never depend on worker interleaving.
+    sq::common::parallel_for(pool, n_groups, [&](std::size_t g) {
+      GroupState& st = state[g];
+      for (std::size_t qi = 0; qi < queue[g].size(); ++qi) {
+        if (st.retired) break;  // Remaining queue re-assigned below.
+        const std::size_t j = queue[g][qi];
+        const FleetJob& job = jobs[j];
+
+        const sq::sim::FaultSchedule shifted =
+            sq::sim::schedule_from(st.schedule, st.elapsed_us);
+        RecoveryOptions ropts;
+        ropts.faults = shifted.empty() ? nullptr : &shifted;
+        ropts.replan = opts.replan;
+        ropts.max_retries = opts.max_retries;
+        ropts.backoff_s = opts.backoff_s;
+        ropts.max_replan_attempts = opts.max_replan_attempts;
+        ropts.replan_penalty_s = opts.replan_penalty_s;
+
+        const FaultTolerantEngine eng(st.cluster, model_, st.plan, backend_,
+                                      kernel_, memoize_);
+        RecoveryStats rec = eng.serve(job.batches, ropts);
+
+        JobOutcome& out = stats.jobs[j];
+        out.group = static_cast<int>(g);
+        out.start_s = st.elapsed_us * 1e-6;
+        out.end_s = out.start_s + rec.wall_seconds;
+        out.completed = rec.serve.feasible && rec.lost_requests == 0;
+        if (!out.completed) {
+          out.failure = rec.serve.failure.empty() ? "serving aborted"
+                                                  : rec.serve.failure;
+        }
+        st.elapsed_us += rec.wall_seconds * 1e6;
+
+        st.events.push_back(
+            "job '" + job.name + "' [" + fmt_s(out.start_s) + " .. " +
+            fmt_s(out.end_s) + "] " +
+            (out.completed
+                 ? std::to_string(static_cast<long long>(rec.serve.output_tokens)) +
+                       " tokens"
+                 : "FAILED: " + out.failure));
+        for (const auto& e : rec.events) st.events.push_back("  " + e);
+
+        if (rec.final_generation > 0) fold_repair(&st, rec);
+        out.recovery = std::move(rec);
+        if (!out.completed) {
+          st.retired = true;
+          st.events.push_back("group retired: " + out.failure);
+        }
+      }
+    });
+
+    // Sequential reduction in (group, queue position) order.  A group's
+    // jobs run strictly in queue order and the worker stops right after a
+    // failure, so everything queued behind the first failure never ran and
+    // goes back to the pending pool.
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      bool seen_failure = false;
+      for (const std::size_t j : queue[g]) {
+        if (seen_failure) {
+          still_pending.push_back(j);
+          continue;
+        }
+        const JobOutcome& out = stats.jobs[j];
+        if (out.completed) {
+          ++stats.jobs_completed;
+        } else {
+          // The failing job itself is consumed: its in-flight requests are
+          // lost exactly as in single-group fault-tolerant serving.
+          seen_failure = true;
+        }
+        stats.output_tokens += out.recovery.serve.output_tokens;
+        stats.faults_hit += out.recovery.faults_hit;
+        stats.retries += out.recovery.retries;
+        stats.repairs += out.recovery.repairs_succeeded;
+      }
+      if (seen_failure) ++stats.groups_retired;
+    }
+    std::sort(still_pending.begin(), still_pending.end());
+    stats.jobs_reassigned += still_pending.size();
+    pending = std::move(still_pending);
+  }
+
+  // ---- Final aggregates (group-major, deterministic). ------------------
+  stats.group_busy_s.assign(n_groups, 0.0);
+  stats.group_jobs.assign(n_groups, 0);
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    stats.group_busy_s[g] = state[g].elapsed_us * 1e-6;
+    for (const auto& line : state[g].events) {
+      stats.events.push_back("group " + std::to_string(g) + ": " + line);
+    }
+  }
+  for (const JobOutcome& out : stats.jobs) {
+    if (out.group >= 0 && out.end_s > out.start_s) {
+      ++stats.group_jobs[static_cast<std::size_t>(out.group)];
+    }
+  }
+  stats.makespan_s = 0.0;
+  for (const double b : stats.group_busy_s) {
+    stats.makespan_s = std::max(stats.makespan_s, b);
+  }
+  if (stats.makespan_s > 0.0) {
+    stats.aggregate_tok_s = stats.output_tokens / stats.makespan_s;
+  }
+
+  if (observe_ && sq::obs::enabled()) {
+    sq::obs::gauge("fleet.groups").set(static_cast<double>(n_groups));
+    sq::obs::counter("fleet.jobs.submitted").add(jobs.size());
+    sq::obs::counter("fleet.jobs.completed").add(stats.jobs_completed);
+    sq::obs::counter("fleet.jobs.rejected").add(stats.jobs_rejected);
+    sq::obs::counter("fleet.jobs.reassigned").add(stats.jobs_reassigned);
+    sq::obs::counter("fleet.groups.retired").add(stats.groups_retired);
+    sq::obs::counter("fleet.faults").add(stats.faults_hit);
+    sq::obs::counter("fleet.repairs").add(stats.repairs);
+    sq::obs::gauge("fleet.makespan_s").set(stats.makespan_s);
+    sq::obs::gauge("fleet.aggregate_tok_s").set(stats.aggregate_tok_s);
+    auto& job_hist =
+        sq::obs::histogram("fleet.job_seconds", sq::obs::BucketLayout::kSeconds);
+    // One deterministic, group-ordered span stream (group timelines are
+    // concurrent; the `group` attribute disambiguates overlaps).
+    sq::obs::TraceSink sink;
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      for (std::size_t j = 0; j < stats.jobs.size(); ++j) {
+        const JobOutcome& out = stats.jobs[j];
+        if (out.group != static_cast<int>(g) || out.end_s <= out.start_s) {
+          continue;
+        }
+        job_hist.observe(out.end_s - out.start_s);
+        sq::obs::Span span;
+        span.name = "fleet.job";
+        span.start_us = out.start_s * 1e6;
+        span.end_us = out.end_s * 1e6;
+        span.attrs = {{"group", static_cast<double>(g)},
+                      {"job", static_cast<double>(j)},
+                      {"tokens", out.recovery.serve.output_tokens},
+                      {"completed", out.completed ? 1.0 : 0.0}};
+        sink.add(std::move(span));
+      }
+    }
+    sq::obs::Registry::global().record_spans(sink.take());
+  }
+  return stats;
+}
+
+}  // namespace sq::runtime

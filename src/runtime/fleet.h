@@ -1,0 +1,163 @@
+// Fleet serving: a sharded deployment of disjoint replica groups serving a
+// multi-job offline workload concurrently.
+//
+// The FleetEngine takes K replica groups (sub-clusters of one fleet, each
+// with its own execution plan — typically produced by the sharded planner
+// in src/core/sharding.h) and a list of named jobs, and schedules the jobs
+// across the groups:
+//
+//   * Assignment is longest-processing-time-first: jobs are ordered by a
+//     deterministic work proxy (total tokens, descending, stable on input
+//     index) and greedily placed on the group with the earliest predicted
+//     finish time under its planner-estimated serving rate, tie-breaking on
+//     the lowest group index.  A job is only placed on groups whose plan
+//     can hold at least one of its requests (weights + KV); a job no group
+//     can hold is rejected gracefully, never crashed on.
+//   * Execution fans the groups out over a work queue drained by
+//     `num_threads` scheduler workers; a group's own jobs always run in
+//     order (its fault timeline carries across jobs).  Results are
+//     bit-identical for every worker count: the assignment is computed
+//     before any serving starts, every outcome is written to its own slot,
+//     and all reductions run in (group, queue-position) order — threads
+//     only ever move wall-clock time, exactly like the planner's fan-out.
+//   * Faults stay group-local.  The fleet-level schedule (original fleet
+//     device indices) is translated into each group's local indices; each
+//     group serves through its own FaultTolerantEngine, so a permanent
+//     device failure repairs — or, when repair is impossible, retires —
+//     only its own group.  Jobs still queued on a retired group are
+//     re-assigned to the surviving groups in the next scheduling round.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/cluster.h"
+#include "model/llm.h"
+#include "runtime/engine.h"
+#include "runtime/recovery.h"
+#include "sim/faults.h"
+#include "sim/plan.h"
+
+namespace sq::runtime {
+
+/// One replica group of a sharded deployment: a disjoint sub-cluster of
+/// the fleet with its own execution plan.
+struct ReplicaGroup {
+  sq::hw::Cluster cluster;        ///< The group's sub-cluster.
+  /// Group-local flat device index -> fleet flat index.  Identity when
+  /// empty; used to translate fleet-level fault schedules and to label
+  /// events with fleet device ids.
+  std::vector<int> to_original;
+  sq::sim::ExecutionPlan plan;    ///< Addresses `cluster`.
+  /// Planner-predicted serving rate (output tokens / s); the LPT
+  /// assignment's speed weight.  0 = treat all groups as equally fast.
+  double predicted_tok_s = 0.0;
+};
+
+/// One offline job: a named list of padded batches (see
+/// sq::workload::make_batches).
+struct FleetJob {
+  std::string name;
+  std::vector<sq::sim::BatchWorkload> batches;
+
+  /// Deterministic work-size proxy for LPT ordering: total tokens touched
+  /// (prompt + generated) over all batches.
+  double work_tokens() const;
+};
+
+/// How one job fared.
+struct JobOutcome {
+  std::string job;
+  int group = -1;        ///< Serving group; -1 = rejected (no capable group).
+  bool completed = false;
+  std::string failure;   ///< Rejection / abort reason when !completed.
+  RecoveryStats recovery;  ///< Per-job serving stats (group-local engine run).
+  double start_s = 0.0;  ///< Start on the group's simulated timeline.
+  double end_s = 0.0;    ///< End (start + full recovery wall).
+};
+
+/// Fleet scheduling knobs.
+struct FleetOptions {
+  /// Fleet-level fault schedule speaking ORIGINAL fleet device indices;
+  /// null = fault-free.  Events are translated into each group's local
+  /// indices (events on devices outside every group are inert).
+  const sq::sim::FaultSchedule* faults = nullptr;
+  /// Per-group plan repair (same callback contract as RecoveryOptions);
+  /// null = no repair: a permanent failure retires the group.
+  Replanner replan;
+  /// Scheduler worker threads draining the group queue: 0 = hardware
+  /// concurrency, 1 = sequential.  FleetStats are bit-identical across all
+  /// values.
+  int num_threads = 1;
+  // Forwarded per-group recovery knobs (see RecoveryOptions).
+  int max_retries = 3;
+  double backoff_s = 0.25;
+  int max_replan_attempts = 3;
+  double replan_penalty_s = 2.0;
+};
+
+/// Aggregate results of a fleet run.
+struct FleetStats {
+  bool feasible = true;     ///< False only for structural errors (no groups,
+                            ///< invalid group plan).
+  std::string failure;
+  std::vector<JobOutcome> jobs;  ///< In input job order.
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_rejected = 0;   ///< No group could ever hold the job.
+  std::uint64_t jobs_reassigned = 0; ///< Re-queued off a retired group.
+  std::uint64_t groups_retired = 0;
+  std::vector<double> group_busy_s;       ///< Simulated busy time per group.
+  std::vector<std::uint64_t> group_jobs;  ///< Jobs served per group.
+  double output_tokens = 0.0;   ///< Committed output tokens over all jobs.
+  /// Fleet makespan: the busiest group's simulated timeline (groups serve
+  /// concurrently, so this is the wall clock of the whole run).
+  double makespan_s = 0.0;
+  /// Aggregate fleet throughput: output_tokens / makespan_s.  This is the
+  /// number the sharded-serving bench sweeps against the single-pipeline
+  /// baseline.
+  double aggregate_tok_s = 0.0;
+  std::uint64_t faults_hit = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t repairs = 0;
+  /// Deterministic event log in (group, job) order; entries are prefixed
+  /// with the group index and job name.
+  std::vector<std::string> events;
+};
+
+/// The fleet engine: binds (model, replica groups, backend) and serves
+/// multi-job workloads.
+class FleetEngine {
+ public:
+  FleetEngine(sq::model::LlmSpec model, std::vector<ReplicaGroup> groups,
+              Backend backend = Backend::kVllmStyle,
+              sq::sim::KernelModelOptions kernel = {.ground_truth = true,
+                                                    .seed = 11},
+              bool memoize = true);
+
+  /// Serve `jobs` across the replica groups.  Deterministic for a fixed
+  /// input at every `opts.num_threads`.
+  FleetStats serve(const std::vector<FleetJob>& jobs,
+                   const FleetOptions& opts = {}) const;
+
+  /// Record fleet metrics (fleet.* counters, per-group job spans on the
+  /// simulated clock) into the global obs registry during serve.  Off by
+  /// default; recording never changes FleetStats.  Per-group engines keep
+  /// their own observability off — their span streams would interleave
+  /// nondeterministically across concurrent groups — so the fleet emits
+  /// one deterministic, group-ordered stream instead.
+  void set_observe(bool on) { observe_ = on; }
+  bool observe() const { return observe_; }
+
+  const std::vector<ReplicaGroup>& groups() const { return groups_; }
+
+ private:
+  sq::model::LlmSpec model_;
+  std::vector<ReplicaGroup> groups_;
+  Backend backend_;
+  sq::sim::KernelModelOptions kernel_;
+  bool memoize_;
+  bool observe_ = false;
+};
+
+}  // namespace sq::runtime

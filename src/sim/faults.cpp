@@ -62,6 +62,23 @@ void FaultSchedule::normalize() {
             });
 }
 
+FaultSchedule schedule_from(const FaultSchedule& s, double t0_us) {
+  FaultSchedule out;
+  for (const FaultEvent& e : s.events) {
+    if (!e.permanent() && e.end_us() <= t0_us) continue;  // window over.
+    FaultEvent shifted = e;
+    if (e.start_us <= t0_us) {
+      shifted.start_us = 0.0;
+      if (!e.permanent()) shifted.duration_us = e.end_us() - t0_us;
+    } else {
+      shifted.start_us = e.start_us - t0_us;
+    }
+    out.events.push_back(shifted);
+  }
+  out.normalize();
+  return out;
+}
+
 std::string FaultSchedule::to_spec() const {
   std::string s;
   for (const auto& e : events) {

@@ -71,6 +71,16 @@ struct FaultSchedule {
   std::string to_spec() const;
 };
 
+/// The schedule as seen from local time `t0_us`: event times are re-based
+/// so the returned schedule's clock 0 corresponds to `t0_us` on the input
+/// clock.  Windows that ended at or before `t0_us` are dropped, windows
+/// straddling it are clamped to start at 0 with their remaining duration
+/// (permanent windows stay permanent), and future windows shift left by
+/// `t0_us`.  Used by the fleet engine to serve consecutive jobs on one
+/// group timeline through engines whose serving clocks restart at 0;
+/// `schedule_from(s, 0)` equals `s` up to normalization.
+FaultSchedule schedule_from(const FaultSchedule& s, double t0_us);
+
 /// Outcome of parsing a --faults spec string.
 struct FaultParse {
   bool ok = false;

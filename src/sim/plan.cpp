@@ -21,6 +21,10 @@ std::string ExecutionPlan::validate(const sq::model::LlmSpec& m,
   if (layer_bits.size() != static_cast<std::size_t>(m.n_layers)) {
     return "layer_bits must have one entry per decoder layer";
   }
+  if (num_shards < 1 || shard_index < 0 || shard_index >= num_shards) {
+    return "shard_index " + std::to_string(shard_index) +
+           " out of range for num_shards " + std::to_string(num_shards);
+  }
   int expect = 0;
   std::set<int> used;
   for (std::size_t i = 0; i < stages.size(); ++i) {

@@ -50,6 +50,14 @@ struct ExecutionPlan {
   int repair_generation = 0;
   std::vector<int> excluded_devices;
 
+  /// Replica-group sharding provenance.  Plans produced by the sharded
+  /// planner (src/core/sharding.h) address their group's sub-cluster and
+  /// carry which of the `num_shards` disjoint groups they serve.  Unsharded
+  /// plans keep the defaults and serialize byte-identically to files
+  /// written before sharding existed; round-tripped by plan_io.
+  int shard_index = 0;
+  int num_shards = 1;
+
   /// Total layers covered by the stages.
   int covered_layers() const;
 

@@ -45,6 +45,12 @@ bool save_plan(const ExecutionPlan& plan, std::ostream& os) {
     for (const int d : plan.excluded_devices) os << " " << d;
     os << "\n";
   }
+  // Sharding provenance likewise only appears for sharded plans, keeping
+  // unsharded output byte-identical to the pre-sharding format.
+  if (plan.num_shards > 1) {
+    os << "shard_index " << plan.shard_index << "\n";
+    os << "num_shards " << plan.num_shards << "\n";
+  }
   for (const auto& st : plan.stages) {
     os << "stage";
     for (const int d : st.devices) os << " " << d;
@@ -114,6 +120,14 @@ LoadResult load_plan(std::istream& is) {
       if (plan.excluded_devices.empty()) {
         return fail("empty excluded_devices line");
       }
+    } else if (key == "shard_index") {
+      if (!(ls >> plan.shard_index) || plan.shard_index < 0) {
+        return fail("bad shard_index line: " + line);
+      }
+    } else if (key == "num_shards") {
+      if (!(ls >> plan.num_shards) || plan.num_shards < 1) {
+        return fail("bad num_shards line: " + line);
+      }
     } else if (key == "stage") {
       StageSpec st;
       std::string tok;
@@ -144,6 +158,10 @@ LoadResult load_plan(std::istream& is) {
   }
   if (!saw_layer_bits) return fail("plan has no layer_bits");
   if (plan.stages.empty()) return fail("plan has no stages");
+  if (plan.shard_index >= plan.num_shards) {
+    return fail("shard_index " + std::to_string(plan.shard_index) +
+                " out of range for num_shards " + std::to_string(plan.num_shards));
+  }
   r.ok = true;
   return r;
 }

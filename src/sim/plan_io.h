@@ -13,6 +13,9 @@
 //   repair_generation <n>               # optional; repair round (default 0)
 //   excluded_devices <dev> ...          # optional; original indices a plan
 //                                       # repair excluded (default none)
+//   shard_index <k>                     # optional; replica group this plan
+//   num_shards <K>                      # serves (defaults 0 of 1; only
+//                                       # written when num_shards > 1)
 //   stage <dev> [<dev> ...] | <begin> <end>
 //   ...
 #pragma once

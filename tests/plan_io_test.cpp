@@ -131,6 +131,53 @@ TEST(PlanIo, RejectsBadRepairKeys) {
   EXPECT_TRUE(plan_from_string(base + "repair_generation 1\nexcluded_devices 0\n").ok);
 }
 
+TEST(PlanIo, RoundTripsShardProvenance) {
+  ExecutionPlan p = sample_plan();
+  p.shard_index = 2;
+  p.num_shards = 4;
+  const LoadResult r = plan_from_string(plan_to_string(p));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.plan.shard_index, 2);
+  EXPECT_EQ(r.plan.num_shards, 4);
+}
+
+TEST(PlanIo, UnshardedPlanOmitsShardKeysAndStaysByteIdentical) {
+  // Like repair provenance, the sharding defaults must not appear in the
+  // serialization: unsharded plan fingerprints are frozen by CI baselines.
+  const ExecutionPlan p = sample_plan();
+  const std::string text = plan_to_string(p);
+  EXPECT_EQ(text.find("shard_index"), std::string::npos);
+  EXPECT_EQ(text.find("num_shards"), std::string::npos);
+  const LoadResult r = plan_from_string(text);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.plan.shard_index, 0);
+  EXPECT_EQ(r.plan.num_shards, 1);
+}
+
+TEST(PlanIo, RejectsBadShardKeys) {
+  const std::string base = "splitquant-plan v1\nlayer_bits 16\nstage 0 | 0 1\n";
+  EXPECT_FALSE(plan_from_string(base + "shard_index -1\n").ok);
+  EXPECT_FALSE(plan_from_string(base + "shard_index x\n").ok);
+  EXPECT_FALSE(plan_from_string(base + "num_shards 0\n").ok);
+  // Index out of range for the declared group count.
+  EXPECT_FALSE(plan_from_string(base + "shard_index 2\nnum_shards 2\n").ok);
+  EXPECT_TRUE(plan_from_string(base + "shard_index 1\nnum_shards 2\n").ok);
+}
+
+TEST(PlanIo, ShardedPlanValidatesShardRange) {
+  const auto m = sq::model::spec(sq::model::ModelId::kOpt30B);
+  const auto c = sq::hw::paper_cluster(5);
+  ExecutionPlan p = sample_plan();
+  p.shard_index = 1;
+  p.num_shards = 2;
+  EXPECT_EQ(p.validate(m, c), "");
+  p.shard_index = 2;
+  EXPECT_NE(p.validate(m, c).find("shard_index"), std::string::npos);
+  p.shard_index = 0;
+  p.num_shards = 0;
+  EXPECT_NE(p.validate(m, c).find("num_shards"), std::string::npos);
+}
+
 TEST(PlanIo, RejectsUnknownKey) {
   const LoadResult r = plan_from_string(
       "splitquant-plan v1\nbogus 1\nlayer_bits 16\nstage 0 | 0 1\n");
