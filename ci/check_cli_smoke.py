@@ -40,6 +40,21 @@ def run(cli, args, want_exit, label):
     return proc
 
 
+def run_rejects(cli, args, label):
+    """A malformed-spec scenario: exit 2 with a one-line stderr diagnostic
+    (no crash, no stack trace, no silent success).  Returns error count."""
+    proc = run(cli, args, 2, label)
+    if proc is None:
+        return 1
+    lines = [ln for ln in proc.stderr.splitlines() if ln.strip()]
+    if len(lines) != 1:
+        print(f"FAIL: {label}: want exactly one diagnostic line on stderr, "
+              f"got {len(lines)}: {proc.stderr!r}", file=sys.stderr)
+        return 1
+    print(f"ok: {label} diagnostic: {lines[0]}")
+    return 0
+
+
 def check_metrics_json(path, label, want_counters=(), want_spans=()):
     """Validate one exported metrics document; returns error count."""
     errors = 0
@@ -119,7 +134,27 @@ def main() -> int:
                 want_counters=["fleet.jobs.submitted", "fleet.jobs.completed"],
                 want_spans=["fleet.job"])
 
-        # 5. Usage errors must exit 2 (not 0, not a crash).
+        # 5. Continuous-batching serving with the serve.request.* metrics
+        # surface and per-request trace spans.
+        cpath = tmp / "continuous_metrics.json"
+        if run(cli, [*BASE, "--serve", "--continuous", "--arrivals",
+                     "burst:16@0,poisson:8@2x4", "--metrics", str(cpath)],
+               0, "serve+continuous") is None:
+            errors += 1
+        else:
+            errors += check_metrics_json(
+                cpath, "serve+continuous",
+                want_counters=["serve.request.submitted",
+                               "serve.request.completed",
+                               "serve.request.iterations"],
+                want_spans=["serve.request"])
+
+        # 6. Continuous mode under faults with plan repair.
+        if run(cli, [*BASE, "--serve", "--continuous", "--faults",
+                     "fail:0@5.0"], 0, "continuous+faults") is None:
+            errors += 1
+
+        # 7. Usage errors must exit 2 (not 0, not a crash).
         if run(cli, [*BASE, "--shards", "0"], 2, "bad --shards") is None:
             errors += 1
         if run(cli, [*BASE, "--shards", "2", "--load-plan", "x.plan"], 2,
@@ -127,6 +162,29 @@ def main() -> int:
             errors += 1
         if run(cli, ["--no-such-flag"], 2, "unknown flag") is None:
             errors += 1
+
+        # 8. Malformed workload/fault specs must exit 2 with a one-line
+        # diagnostic naming the offending item — never a crash and never a
+        # silently-ignored flag.
+        errors += run_rejects(
+            cli, [*BASE, "--serve", "--faults", "bogus"], "malformed --faults")
+        errors += run_rejects(
+            cli, [*BASE, "--serve", "--faults", "fail:1@1 trail"],
+            "trailing junk in --faults")
+        errors += run_rejects(
+            cli, [*BASE, "--shards", "2", "--serve", "--jobs", "a:xx"],
+            "malformed --jobs")
+        errors += run_rejects(
+            cli, [*BASE, "--shards", "2", "--serve", "--jobs", "a:0"],
+            "zero-count --jobs")
+        errors += run_rejects(
+            cli, [*BASE, "--serve", "--continuous", "--arrivals", "gauss:4@0"],
+            "malformed --arrivals")
+        errors += run_rejects(
+            cli, [*BASE, "--serve", "--arrivals", "burst:4@0"],
+            "--arrivals without --continuous")
+        errors += run_rejects(
+            cli, [*BASE, "--continuous"], "--continuous without --serve")
 
     if errors:
         print(f"FAIL: {errors} CLI smoke error(s)", file=sys.stderr)

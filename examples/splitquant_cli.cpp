@@ -18,6 +18,20 @@
 //   --custom-backend    enable INT3 / custom-backend efficiency
 //   --heuristic         bitwidth transfer instead of the ILP
 //   --serve             run the serving simulation after planning
+//   --continuous        with --serve: continuous-batching mode — serve an
+//                       arrival timeline through the iteration-level
+//                       request scheduler instead of whole-batch waves
+//                       (with --shards, every job becomes an arrival
+//                       timeline).  Composes with --faults.
+//   --arrivals <spec>   arrival timeline for --continuous (default
+//                       "burst:<requests>@0").  Spec grammar
+//                       (comma-separated segments, times in seconds):
+//                         burst:<n>@<t>        n requests together at t
+//                         uniform:<n>@<t>x<r>  n requests at r req/s from t
+//                         poisson:<n>@<t>x<r>  n requests, seeded
+//                                              exponential gaps of mean 1/r
+//                       With --shards --jobs, the spec replaces each job's
+//                       request count (lengths/gaps re-seeded per job).
 //   --faults <spec>     inject a deterministic fault schedule into --serve
 //                       and recover via plan repair.  Spec grammar
 //                       (comma-separated, times in simulated seconds):
@@ -69,6 +83,7 @@
 #include "runtime/engine.h"
 #include "runtime/recovery.h"
 #include "sim/faults.h"
+#include "workload/arrivals.h"
 #include "workload/profile.h"
 
 namespace {
@@ -85,6 +100,8 @@ struct Args {
   bool custom_backend = false;
   bool heuristic = false;
   bool serve = false;
+  bool continuous = false;
+  std::string arrivals;
   bool list_models = false;
   std::string faults;
   bool no_repair = false;
@@ -116,6 +133,8 @@ bool parse(int argc, char** argv, Args* out) {
     else if (a == "--custom-backend") out->custom_backend = true;
     else if (a == "--heuristic") out->heuristic = true;
     else if (a == "--serve") out->serve = true;
+    else if (a == "--continuous") out->continuous = true;
+    else if (a == "--arrivals") out->arrivals = next("--arrivals");
     else if (a == "--faults") out->faults = next("--faults");
     else if (a == "--no-repair") out->no_repair = true;
     else if (a == "--shards") out->shards = std::atoi(next("--shards"));
@@ -161,50 +180,71 @@ int parse_faults(const std::string& spec, int device_count,
   return 0;
 }
 
+/// Resolve the --arrivals spec (default: one burst of `default_requests`
+/// at t=0).  Returns 0 and fills `out`, or 2 with a one-line diagnostic.
+int parse_arrivals(const Args& args, std::uint64_t default_requests,
+                   sq::workload::ArrivalSpec* out) {
+  if (args.arrivals.empty()) {
+    out->segments.push_back({sq::workload::ArrivalSegment::Kind::kBurst,
+                             std::max<std::uint64_t>(1, default_requests), 0.0,
+                             0.0});
+    return 0;
+  }
+  const sq::workload::ArrivalParse ap =
+      sq::workload::parse_arrival_spec(args.arrivals);
+  if (!ap.ok) {
+    std::fprintf(stderr, "bad --arrivals spec: %s\n", ap.error.c_str());
+    return 2;
+  }
+  if (ap.spec.empty()) {
+    std::fprintf(stderr, "--arrivals spec has no segments\n");
+    return 2;
+  }
+  *out = ap.spec;
+  return 0;
+}
+
 /// Build the --jobs workload: "<name>:<requests>,..." items, each sampled
 /// independently (seed varies by position so jobs differ); an empty spec
-/// defaults to one job of `default_requests` per shard.
+/// defaults to one job of `args.requests` per shard.  With --continuous
+/// every job becomes an arrival timeline instead of a batch list.
 int parse_jobs(const Args& args, const sq::model::LlmSpec& m,
                std::vector<sq::runtime::FleetJob>* out) {
-  struct Item {
-    std::string name;
-    int requests = 0;
-  };
-  std::vector<Item> items;
+  std::vector<sq::runtime::JobSpecItem> items;
   if (args.jobs.empty()) {
     for (int i = 0; i < args.shards; ++i) {
-      items.push_back({"job-" + std::to_string(i), args.requests});
+      items.push_back({"job-" + std::to_string(i),
+                       static_cast<std::uint64_t>(std::max(1, args.requests))});
     }
   } else {
-    std::size_t pos = 0;
-    while (pos <= args.jobs.size()) {
-      const std::size_t comma = args.jobs.find(',', pos);
-      const std::string item = args.jobs.substr(
-          pos, comma == std::string::npos ? std::string::npos : comma - pos);
-      pos = comma == std::string::npos ? args.jobs.size() + 1 : comma + 1;
-      if (item.empty()) continue;
-      const std::size_t colon = item.find(':');
-      const int n = colon == std::string::npos
-                        ? 0
-                        : std::atoi(item.c_str() + colon + 1);
-      if (colon == std::string::npos || colon == 0 || n <= 0) {
-        std::fprintf(stderr,
-                     "bad --jobs item '%s' (want <name>:<requests>)\n",
-                     item.c_str());
-        return 2;
-      }
-      items.push_back({item.substr(0, colon), n});
+    const sq::runtime::JobsParse jp = sq::runtime::parse_jobs_spec(args.jobs);
+    if (!jp.ok) {
+      std::fprintf(stderr, "%s\n", jp.error.c_str());
+      return 2;
     }
-    if (items.empty()) {
+    if (jp.items.empty()) {
       std::fprintf(stderr, "--jobs spec has no jobs\n");
       return 2;
     }
+    items = jp.items;
   }
   for (std::size_t i = 0; i < items.size(); ++i) {
-    const auto reqs = sq::workload::sample(
-        dataset_of(args.workload), items[i].requests, 1234 + i);
-    out->push_back({items[i].name,
-                    sq::workload::make_batches(reqs, m, args.batch)});
+    sq::runtime::FleetJob job;
+    job.name = items[i].name;
+    if (args.continuous) {
+      sq::workload::ArrivalSpec spec;
+      if (const int rc = parse_arrivals(args, items[i].requests, &spec)) {
+        return rc;
+      }
+      job.arrivals = sq::workload::generate_arrivals(
+          spec, dataset_of(args.workload), 1234 + i);
+    } else {
+      const auto reqs =
+          sq::workload::sample(dataset_of(args.workload),
+                               static_cast<int>(items[i].requests), 1234 + i);
+      job.batches = sq::workload::make_batches(reqs, m, args.batch);
+    }
+    out->push_back(std::move(job));
   }
   return 0;
 }
@@ -305,10 +345,11 @@ int run_sharded(const Args& args, const sq::model::LlmSpec& m,
     if (out.group < 0) {
       std::printf("job %-8s %s\n", (out.job + ":").c_str(), out.failure.c_str());
     } else {
+      const double tokens = args.continuous ? out.continuous.output_tokens
+                                            : out.recovery.serve.output_tokens;
       std::printf("job %-8s group %d [%.1fs .. %.1fs] %.0f tokens%s%s\n",
                   (out.job + ":").c_str(), out.group, out.start_s, out.end_s,
-                  out.recovery.serve.output_tokens,
-                  out.completed ? "" : " FAILED: ",
+                  tokens, out.completed ? "" : " FAILED: ",
                   out.completed ? "" : out.failure.c_str());
     }
   }
@@ -331,6 +372,14 @@ int main(int argc, char** argv) {
   using namespace sq;
   Args args;
   if (!parse(argc, argv, &args)) return 2;
+  if (args.continuous && !args.serve) {
+    std::fprintf(stderr, "--continuous requires --serve\n");
+    return 2;
+  }
+  if (!args.arrivals.empty() && !args.continuous) {
+    std::fprintf(stderr, "--arrivals requires --continuous\n");
+    return 2;
+  }
 
   if (args.list_models) {
     for (const auto id : model::all_models()) {
@@ -452,6 +501,90 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.planned_batch));
   std::printf("quality:  est PPL %.3f (base %.3f), est accuracy %.1f%%\n", r.est_ppl,
               quality.base_ppl(), r.est_accuracy);
+
+  if (args.serve && args.continuous) {
+    // Continuous-batching serving: iteration-level admission over an
+    // arrival timeline (fault-tolerant when --faults is given).
+    workload::ArrivalSpec aspec;
+    if (const int rc = parse_arrivals(
+            args, static_cast<std::uint64_t>(std::max(1, args.requests)),
+            &aspec)) {
+      return rc;
+    }
+    const auto arrivals =
+        workload::generate_arrivals(aspec, dataset_of(args.workload), 1234);
+    std::printf("arrivals: %s (%llu requests)\n", aspec.to_spec().c_str(),
+                static_cast<unsigned long long>(arrivals.size()));
+
+    runtime::ContinuousOptions copts;
+    copts.num_threads = args.threads;
+    runtime::RequestStats rs;
+    if (!args.faults.empty()) {
+      sim::FaultSchedule schedule;
+      if (const int rc =
+              parse_faults(args.faults, cluster.device_count(), &schedule)) {
+        return rc;
+      }
+      std::printf("faults:   %s\n",
+                  schedule.empty() ? "(none)" : schedule.to_spec().c_str());
+      runtime::FaultTolerantEngine engine(
+          cluster, m, r.plan,
+          args.custom_backend ? runtime::Backend::kCustom
+                              : runtime::Backend::kVllmStyle);
+      engine.set_observe(!args.metrics.empty());
+      runtime::RecoveryOptions ropts;
+      if (!schedule.empty()) ropts.faults = &schedule;
+      if (!args.no_repair) {
+        ropts.replan = core::make_replanner(m, latency, quality,
+                                            profile.planning_batch(m), cfg);
+      }
+      rs = engine.serve_continuous(arrivals, ropts, copts);
+    } else {
+      runtime::OfflineEngine engine(
+          cluster, m, r.plan,
+          args.custom_backend ? runtime::Backend::kCustom
+                              : runtime::Backend::kVllmStyle);
+      engine.set_observe(!args.metrics.empty());
+      rs = engine.serve_continuous(arrivals, copts);
+    }
+
+    for (const auto& e : rs.events) std::printf("event:    %s\n", e.c_str());
+    if (!rs.feasible) {
+      std::printf("serve:    FAILED — %s\n", rs.failure.c_str());
+      return 1;
+    }
+    std::printf("serve:    %.1f tok/s goodput (%.0f tokens in %.1fs, "
+                "%llu iterations)\n",
+                rs.goodput_tok_s, rs.output_tokens, rs.total_seconds,
+                static_cast<unsigned long long>(rs.iterations));
+    std::printf("requests: %llu/%llu completed, %llu lost, %llu preemptions, "
+                "%llu blocked admissions\n",
+                static_cast<unsigned long long>(rs.completed),
+                static_cast<unsigned long long>(rs.submitted),
+                static_cast<unsigned long long>(rs.lost),
+                static_cast<unsigned long long>(rs.preemptions),
+                static_cast<unsigned long long>(rs.admission_blocked));
+    std::printf("latency:  mean %.2fs, p50 %.2fs, p95 %.2fs; queue mean "
+                "%.2fs; KV peak %.0f%%\n",
+                rs.mean_latency_s, rs.p50_latency_s, rs.p95_latency_s,
+                rs.mean_queue_s, 100.0 * rs.kv_peak_utilization);
+    if (!rs.failure.empty()) {
+      std::printf("          degraded: %s\n", rs.failure.c_str());
+    }
+    if (rs.final_generation > 0) {
+      std::printf("recovery: %llu faults, %llu retries, %llu/%llu repairs, "
+                  "generation %d\n",
+                  static_cast<unsigned long long>(rs.faults_hit),
+                  static_cast<unsigned long long>(rs.retries),
+                  static_cast<unsigned long long>(rs.repairs_succeeded),
+                  static_cast<unsigned long long>(rs.repairs_attempted),
+                  rs.final_generation);
+      const auto deg =
+          hw::degrade_cluster(cluster, rs.final_plan.excluded_devices);
+      std::printf("plan':    %s\n", rs.final_plan.summary(deg.cluster).c_str());
+    }
+    return export_metrics(args);
+  }
 
   if (args.serve && !args.faults.empty()) {
     // Fault-tolerant serving: inject the schedule, repair on failures.

@@ -126,4 +126,13 @@ ServeStats OfflineEngine::serve_requests(
   return serve(batches);
 }
 
+RequestStats OfflineEngine::serve_continuous(
+    const std::vector<sq::workload::TimedRequest>& arrivals,
+    const ContinuousOptions& opts) const {
+  RequestScheduler sched(cluster_, model_, plan_, backend_efficiency(), kernel_,
+                         memoize_);
+  sched.set_observe(observe_);
+  return sched.serve(arrivals, opts);
+}
+
 }  // namespace sq::runtime

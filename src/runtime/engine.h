@@ -15,6 +15,7 @@
 
 #include "hw/cluster.h"
 #include "model/llm.h"
+#include "runtime/request_scheduler.h"
 #include "sim/pipeline.h"
 #include "sim/plan.h"
 #include "workload/profile.h"
@@ -61,6 +62,13 @@ class OfflineEngine {
   ServeStats serve_requests(const std::vector<sq::workload::Request>& requests,
                             std::uint64_t batch_size,
                             std::uint64_t chunk_tokens = 2048) const;
+
+  /// Continuous-batching mode: serve an arrival timeline through the
+  /// iteration-level RequestScheduler instead of whole-batch waves.
+  /// Observability and backend efficiency carry over from the engine.
+  RequestStats serve_continuous(
+      const std::vector<sq::workload::TimedRequest>& arrivals,
+      const ContinuousOptions& opts = {}) const;
 
   /// Record serving metrics and simulated-clock trace spans into the
   /// global obs registry during serve (micro-batch sizes chosen,

@@ -37,11 +37,27 @@ struct GroupState {
 
 /// True when every batch of `job` can hold at least one request on the
 /// group's current (cluster, plan): weights fit and the tightest stage has
-/// KV room for a single full-context request.
+/// KV room for a single full-context request.  A continuous job is probed
+/// with its largest request (clamped to the model's context limit, exactly
+/// as the request scheduler clamps).
 bool can_run(const GroupState& st, const sq::model::LlmSpec& model,
              const FleetJob& job) {
   for (const auto& b : job.batches) {
     if (max_concurrency(st.cluster, model, st.plan, b) == 0) return false;
+  }
+  if (!job.arrivals.empty()) {
+    std::uint64_t prompt = 1;
+    std::uint64_t gen = 1;
+    for (const auto& a : job.arrivals) {
+      prompt = std::max(prompt, a.request.prompt_tokens);
+      gen = std::max(gen, a.request.output_tokens);
+    }
+    sq::sim::BatchWorkload probe;
+    probe.batch_size = 1;
+    probe.prompt_len = std::max<std::uint64_t>(1, std::min(prompt, model.pos_s - 1));
+    probe.gen_tokens =
+        std::max<std::uint64_t>(1, std::min(gen, model.pos_s - probe.prompt_len));
+    if (max_concurrency(st.cluster, model, st.plan, probe) == 0) return false;
   }
   return true;
 }
@@ -51,7 +67,7 @@ bool can_run(const GroupState& st, const sq::model::LlmSpec& model,
 /// excluded devices (permanent straggler deratings baked in, mirroring the
 /// recovery engine), adopt the repaired plan, and remap the remaining
 /// schedule to the new local indices.
-void fold_repair(GroupState* st, const RecoveryStats& rec) {
+void fold_repair(GroupState* st, const sq::sim::ExecutionPlan& final_plan) {
   std::vector<sq::hw::DeviceDerate> derates;
   for (const auto& e : st->schedule.events) {
     if (e.kind == sq::sim::FaultKind::kSlowdown && e.permanent() &&
@@ -60,7 +76,7 @@ void fold_repair(GroupState* st, const RecoveryStats& rec) {
     }
   }
   const sq::hw::DegradedCluster deg = sq::hw::degrade_cluster(
-      st->cluster, rec.final_plan.excluded_devices, derates);
+      st->cluster, final_plan.excluded_devices, derates);
 
   sq::sim::FaultSchedule remapped;
   for (const auto& e : st->schedule.events) {
@@ -85,7 +101,7 @@ void fold_repair(GroupState* st, const RecoveryStats& rec) {
 
   // The repaired plan came out of a fresh planner run and therefore lost
   // the shard stamps; re-apply them so provenance survives repair.
-  sq::sim::ExecutionPlan plan = rec.final_plan;
+  sq::sim::ExecutionPlan plan = final_plan;
   plan.shard_index = st->plan.shard_index;
   plan.num_shards = st->plan.num_shards;
 
@@ -103,7 +119,52 @@ double FleetJob::work_tokens() const {
     t += static_cast<double>(b.batch_size) *
          static_cast<double>(b.prompt_len + b.gen_tokens);
   }
+  for (const auto& a : arrivals) {
+    t += static_cast<double>(a.request.prompt_tokens + a.request.output_tokens);
+  }
   return t;
+}
+
+JobsParse parse_jobs_spec(const std::string& spec) {
+  JobsParse out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string item = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    if (item.empty()) continue;
+    const auto bad = [&](const std::string& why) {
+      out.ok = false;
+      out.error = "bad --jobs item '" + item + "': " + why;
+      out.items.clear();
+      return out;
+    };
+    const std::size_t colon = item.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      return bad("want <name>:<requests>");
+    }
+    const std::string name = item.substr(0, colon);
+    const std::string count = item.substr(colon + 1);
+    if (name.find(':') != std::string::npos) return bad("name contains ':'");
+    // Strict base-10: stoll alone would accept leading whitespace / signs.
+    if (count.empty() || count[0] < '0' || count[0] > '9') {
+      return bad("count is not a number");
+    }
+    long long n = 0;
+    try {
+      std::size_t used = 0;
+      n = std::stoll(count, &used);
+      if (used != count.size()) return bad("trailing junk after the count");
+    } catch (const std::exception&) {
+      return bad("count is not a number");
+    }
+    if (n < 1) return bad("count must be >= 1");
+    if (n > 1000000) return bad("count exceeds 1e6");
+    out.items.push_back({name, static_cast<std::uint64_t>(n)});
+  }
+  out.ok = true;
+  return out;
 }
 
 FleetEngine::FleetEngine(sq::model::LlmSpec model,
@@ -122,6 +183,15 @@ FleetStats FleetEngine::serve(const std::vector<FleetJob>& jobs,
     stats.feasible = false;
     stats.failure = "fleet has no replica groups";
     return stats;
+  }
+
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (!jobs[j].batches.empty() && !jobs[j].arrivals.empty()) {
+      stats.feasible = false;
+      stats.failure = "job '" + jobs[j].name +
+                      "' has both batches and arrivals (want exactly one)";
+      return stats;
+    }
   }
 
   const std::size_t n_groups = groups_.size();
@@ -256,30 +326,59 @@ FleetStats FleetEngine::serve(const std::vector<FleetJob>& jobs,
 
         const FaultTolerantEngine eng(st.cluster, model_, st.plan, backend_,
                                       kernel_, memoize_);
-        RecoveryStats rec = eng.serve(job.batches, ropts);
-
         JobOutcome& out = stats.jobs[j];
         out.group = static_cast<int>(g);
         out.start_s = st.elapsed_us * 1e-6;
-        out.end_s = out.start_s + rec.wall_seconds;
-        out.completed = rec.serve.feasible && rec.lost_requests == 0;
-        if (!out.completed) {
-          out.failure = rec.serve.failure.empty() ? "serving aborted"
-                                                  : rec.serve.failure;
+        if (job.arrivals.empty()) {
+          RecoveryStats rec = eng.serve(job.batches, ropts);
+          out.end_s = out.start_s + rec.wall_seconds;
+          out.completed = rec.serve.feasible && rec.lost_requests == 0;
+          if (!out.completed) {
+            out.failure = rec.serve.failure.empty() ? "serving aborted"
+                                                    : rec.serve.failure;
+          }
+          st.elapsed_us += rec.wall_seconds * 1e6;
+
+          st.events.push_back(
+              "job '" + job.name + "' [" + fmt_s(out.start_s) + " .. " +
+              fmt_s(out.end_s) + "] " +
+              (out.completed
+                   ? std::to_string(static_cast<long long>(rec.serve.output_tokens)) +
+                         " tokens"
+                   : "FAILED: " + out.failure));
+          for (const auto& e : rec.events) st.events.push_back("  " + e);
+
+          if (rec.final_generation > 0) fold_repair(&st, rec.final_plan);
+          out.recovery = std::move(rec);
+        } else {
+          // Continuous job: the arrival timeline starts at the job's start
+          // instant on this group; the re-based schedule speaks the same
+          // job-local clock, so the scheduler's absolute-time contract
+          // holds.  Lost requests (unservable alone) fail the job's
+          // completeness accounting but do not retire the group — only
+          // structural failures and unrepaired permanent faults do.
+          RequestStats crs = eng.serve_continuous(job.arrivals, ropts);
+          out.end_s = out.start_s + crs.total_seconds;
+          out.completed = crs.feasible && !crs.fault_permanent;
+          if (!out.completed) {
+            out.failure =
+                crs.failure.empty() ? "serving aborted" : crs.failure;
+          }
+          st.elapsed_us += crs.total_seconds * 1e6;
+
+          st.events.push_back(
+              "job '" + job.name + "' [" + fmt_s(out.start_s) + " .. " +
+              fmt_s(out.end_s) + "] " +
+              (out.completed
+                   ? std::to_string(static_cast<long long>(crs.output_tokens)) +
+                         " tokens (" + std::to_string(crs.completed) + "/" +
+                         std::to_string(crs.submitted) + " requests)"
+                   : "FAILED: " + out.failure));
+          for (const auto& e : crs.events) st.events.push_back("  " + e);
+
+          if (crs.final_generation > 0) fold_repair(&st, crs.final_plan);
+          out.continuous = std::move(crs);
         }
-        st.elapsed_us += rec.wall_seconds * 1e6;
-
-        st.events.push_back(
-            "job '" + job.name + "' [" + fmt_s(out.start_s) + " .. " +
-            fmt_s(out.end_s) + "] " +
-            (out.completed
-                 ? std::to_string(static_cast<long long>(rec.serve.output_tokens)) +
-                       " tokens"
-                 : "FAILED: " + out.failure));
-        for (const auto& e : rec.events) st.events.push_back("  " + e);
-
-        if (rec.final_generation > 0) fold_repair(&st, rec);
-        out.recovery = std::move(rec);
         if (!out.completed) {
           st.retired = true;
           st.events.push_back("group retired: " + out.failure);
@@ -306,10 +405,17 @@ FleetStats FleetEngine::serve(const std::vector<FleetJob>& jobs,
           // lost exactly as in single-group fault-tolerant serving.
           seen_failure = true;
         }
-        stats.output_tokens += out.recovery.serve.output_tokens;
-        stats.faults_hit += out.recovery.faults_hit;
-        stats.retries += out.recovery.retries;
-        stats.repairs += out.recovery.repairs_succeeded;
+        if (jobs[j].arrivals.empty()) {
+          stats.output_tokens += out.recovery.serve.output_tokens;
+          stats.faults_hit += out.recovery.faults_hit;
+          stats.retries += out.recovery.retries;
+          stats.repairs += out.recovery.repairs_succeeded;
+        } else {
+          stats.output_tokens += out.continuous.output_tokens;
+          stats.faults_hit += out.continuous.faults_hit;
+          stats.retries += out.continuous.retries;
+          stats.repairs += out.continuous.repairs_succeeded;
+        }
       }
       if (seen_failure) ++stats.groups_retired;
     }
@@ -367,9 +473,12 @@ FleetStats FleetEngine::serve(const std::vector<FleetJob>& jobs,
         span.name = "fleet.job";
         span.start_us = out.start_s * 1e6;
         span.end_us = out.end_s * 1e6;
+        const double tokens = jobs[j].arrivals.empty()
+                                  ? out.recovery.serve.output_tokens
+                                  : out.continuous.output_tokens;
         span.attrs = {{"group", static_cast<double>(g)},
                       {"job", static_cast<double>(j)},
-                      {"tokens", out.recovery.serve.output_tokens},
+                      {"tokens", tokens},
                       {"completed", out.completed ? 1.0 : 0.0}};
         sink.add(std::move(span));
       }

@@ -56,15 +56,41 @@ struct ReplicaGroup {
 };
 
 /// One offline job: a named list of padded batches (see
-/// sq::workload::make_batches).
+/// sq::workload::make_batches) OR a continuous-batching arrival timeline
+/// (see sq::workload::generate_arrivals).  Exactly one of the two lists
+/// may be non-empty; a job with both is a structural error.
 struct FleetJob {
   std::string name;
   std::vector<sq::sim::BatchWorkload> batches;
+  /// Continuous-mode request timeline; arrival instants are relative to
+  /// the moment the job starts on its group.  Served through the group's
+  /// engine in iteration-level continuous-batching mode.
+  std::vector<sq::workload::TimedRequest> arrivals;
 
   /// Deterministic work-size proxy for LPT ordering: total tokens touched
-  /// (prompt + generated) over all batches.
+  /// (prompt + generated) over all batches / arrival requests.
   double work_tokens() const;
 };
+
+/// One "<name>:<requests>" item of a --jobs spec.
+struct JobSpecItem {
+  std::string name;
+  std::uint64_t requests = 0;
+};
+
+/// Outcome of parsing a --jobs spec string.
+struct JobsParse {
+  bool ok = false;
+  std::string error;  ///< One-line diagnostic when !ok.
+  std::vector<JobSpecItem> items;
+};
+
+/// Parse a --jobs spec: comma-separated "<name>:<requests>" items (name
+/// non-empty, no ':' inside; requests a base-10 integer >= 1, capped at
+/// 1e6).  Empty segments are ignored; an empty string parses ok with no
+/// items.  Never throws: malformed input returns ok = false with a
+/// diagnostic naming the offending item.
+JobsParse parse_jobs_spec(const std::string& spec);
 
 /// How one job fared.
 struct JobOutcome {
@@ -72,7 +98,10 @@ struct JobOutcome {
   int group = -1;        ///< Serving group; -1 = rejected (no capable group).
   bool completed = false;
   std::string failure;   ///< Rejection / abort reason when !completed.
-  RecoveryStats recovery;  ///< Per-job serving stats (group-local engine run).
+  RecoveryStats recovery;  ///< Per-job serving stats (batch jobs).
+  /// Per-job serving stats for continuous (arrival-timeline) jobs; default
+  /// for batch jobs.  Times are job-local (0 = job start on its group).
+  RequestStats continuous;
   double start_s = 0.0;  ///< Start on the group's simulated timeline.
   double end_s = 0.0;    ///< End (start + full recovery wall).
 };

@@ -316,4 +316,187 @@ RecoveryStats FaultTolerantEngine::serve_requests(
   return serve(batches, opts);
 }
 
+RequestStats FaultTolerantEngine::serve_continuous(
+    const std::vector<sq::workload::TimedRequest>& arrivals,
+    const RecoveryOptions& opts, const ContinuousOptions& copts) const {
+  RequestStats total;
+  total.submitted = arrivals.size();
+  total.final_plan = plan_;
+  const std::string err = plan_.validate(model_, cluster_);
+  if (!err.empty()) {
+    total.feasible = false;
+    total.failure = "invalid plan: " + err;
+    return total;
+  }
+  total.requests.resize(arrivals.size());
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    total.requests[i].id = i;
+    total.requests[i].arrive_s = arrivals[i].arrive_s;
+  }
+
+  const bool ob = observe_ && sq::obs::enabled();
+  const bool have_faults =
+      opts.faults != nullptr && !opts.faults->events.empty();
+  if (ob && have_faults) {
+    sq::obs::counter("fault.injected").add(opts.faults->events.size());
+  }
+
+  // Serving state that plan repair rewrites between generations (same
+  // protocol as `serve`: the active schedule is filtered after a repair so
+  // capability loss baked into the degraded cluster is not double-counted).
+  sq::hw::Cluster active_cluster = cluster_;
+  sq::sim::ExecutionPlan active_plan = plan_;
+  sq::sim::FaultSchedule repaired_schedule;
+  const sq::sim::FaultSchedule* schedule = have_faults ? opts.faults : nullptr;
+  std::vector<int> device_map;  // current flat index -> original; empty = id.
+  std::vector<int> failed;      // accumulated permanent losses, original idx.
+
+  std::vector<std::size_t> remaining(arrivals.size());
+  for (std::size_t i = 0; i < arrivals.size(); ++i) remaining[i] = i;
+  double resume_us = copts.start_us;
+
+  // Permanent plan repair (mirrors `serve`); on success, swaps the serving
+  // state over and sets the resume instant past the replanning charge.
+  const auto repair = [&](double abort_us) {
+    if (!opts.replan) return false;
+    std::vector<sq::hw::DeviceDerate> derates;
+    for (const auto& e : opts.faults->events) {
+      if (e.kind == sq::sim::FaultKind::kSlowdown && e.permanent() &&
+          e.factor > 1.0) {
+        derates.push_back({e.device, e.factor});
+      }
+    }
+    const sq::hw::DegradedCluster deg =
+        sq::hw::degrade_cluster(cluster_, failed, derates);
+    if (deg.cluster.device_count() == 0) return false;
+
+    ReplanOutcome outcome;
+    for (int attempt = 0; attempt < std::max(1, opts.max_replan_attempts);
+         ++attempt) {
+      ++total.repairs_attempted;
+      if (ob) sq::obs::counter("fault.repairs.attempted").add();
+      outcome = opts.replan(deg.cluster, attempt);
+      if (ob) {
+        sq::obs::histogram("fault.replan_wall_s", sq::obs::BucketLayout::kSeconds)
+            .observe(outcome.solve_seconds);
+      }
+      if (outcome.feasible) break;
+    }
+    if (!outcome.feasible) return false;
+
+    ++total.repairs_succeeded;
+    ++total.final_generation;
+    active_cluster = deg.cluster;
+    active_plan = std::move(outcome.plan);
+    active_plan.repair_generation = total.final_generation;
+    active_plan.excluded_devices = failed;
+    std::sort(active_plan.excluded_devices.begin(),
+              active_plan.excluded_devices.end());
+    device_map = deg.to_original;
+
+    repaired_schedule.events.clear();
+    for (const auto& e : opts.faults->events) {
+      const bool excluded = std::find(failed.begin(), failed.end(),
+                                      e.device) != failed.end();
+      const bool baked = e.kind == sq::sim::FaultKind::kSlowdown &&
+                         e.permanent() && e.factor > 1.0;
+      if (!excluded && !baked) repaired_schedule.events.push_back(e);
+    }
+    schedule = repaired_schedule.events.empty() ? nullptr : &repaired_schedule;
+
+    resume_us = abort_us + opts.replan_penalty_s * 1e6;
+    total.events.push_back(
+        "[" + fmt_s(abort_us) + "] repair: generation " +
+        std::to_string(total.final_generation) + " on " +
+        active_cluster.summary() + ", resume at " + fmt_s(resume_us));
+    if (ob) sq::obs::counter("fault.repairs.succeeded").add();
+    return true;
+  };
+
+  while (!remaining.empty()) {
+    std::vector<sq::workload::TimedRequest> sub;
+    sub.reserve(remaining.size());
+    for (const std::size_t id : remaining) sub.push_back(arrivals[id]);
+
+    RequestScheduler sched(active_cluster, model_, active_plan,
+                           backend_efficiency(), kernel_, memoize_);
+    sched.set_observe(observe_);
+    ContinuousOptions c = copts;
+    c.start_us = resume_us;
+    c.faults = schedule;
+    c.to_original = device_map.empty() ? nullptr : &device_map;
+    const RequestStats st = sched.serve(sub, c);
+
+    // Merge this generation's outcomes and counters; arrivals keep their
+    // absolute times, so the sub-serve's clock is the global clock.
+    total.completed += st.completed;
+    total.lost += st.lost;
+    total.preemptions += st.preemptions;
+    total.admission_blocked += st.admission_blocked;
+    total.iterations += st.iterations;
+    total.faults_hit += st.faults_hit;
+    total.retries += st.retries;
+    total.output_tokens += st.output_tokens;
+    total.kv_peak_utilization =
+        std::max(total.kv_peak_utilization, st.kv_peak_utilization);
+    for (const auto& e : st.events) total.events.push_back(e);
+    total.total_seconds = std::max(total.total_seconds, st.total_seconds);
+
+    std::vector<std::size_t> incomplete;
+    for (std::size_t si = 0; si < remaining.size(); ++si) {
+      const std::size_t id = remaining[si];
+      const RequestOutcome& out = st.requests[si];
+      RequestOutcome& dst = total.requests[id];
+      dst.prompt_tokens = out.prompt_tokens;
+      dst.preemptions += out.preemptions;
+      if (out.admit_s >= 0.0 && dst.admit_s < 0.0) dst.admit_s = out.admit_s;
+      if (out.completed) {
+        dst.completed = true;
+        dst.finish_s = out.finish_s;
+        dst.output_tokens = out.output_tokens;
+      } else if (out.lost) {
+        dst.lost = true;  // unservable on any plan sized like this one
+      } else {
+        incomplete.push_back(id);
+      }
+    }
+
+    if (!st.feasible) {
+      // Structural failure (invalid/OOM repaired plan): unrecoverable.
+      total.feasible = false;
+      total.failure = st.failure;
+      total.lost += incomplete.size();
+      for (const std::size_t id : incomplete) total.requests[id].lost = true;
+      break;
+    }
+    if (!st.fault_permanent) break;  // clean finish on this generation
+
+    failed.push_back(st.fault_device);
+    if (incomplete.empty()) break;  // the failure stranded nothing
+    if (!repair(st.fault_s * 1e6)) {
+      total.fault_permanent = true;
+      total.fault_device = st.fault_device;
+      total.fault_s = st.fault_s;
+      total.failure =
+          opts.replan ? "no feasible repair plan; remaining requests lost"
+                      : "device failed with repair disabled; remaining "
+                        "requests lost";
+      total.lost += incomplete.size();
+      for (const std::size_t id : incomplete) total.requests[id].lost = true;
+      total.events.push_back("[" + fmt_s(st.fault_s * 1e6) + "] " +
+                             total.failure + " (" +
+                             std::to_string(incomplete.size()) + " requests)");
+      if (ob) {
+        sq::obs::counter("fault.lost_requests").add(incomplete.size());
+      }
+      break;
+    }
+    remaining = std::move(incomplete);
+  }
+
+  total.final_plan = std::move(active_plan);
+  finalize_request_aggregates(total);
+  return total;
+}
+
 }  // namespace sq::runtime

@@ -142,6 +142,24 @@ class FaultTolerantEngine {
                                const RecoveryOptions& opts = {},
                                std::uint64_t chunk_tokens = 2048) const;
 
+  /// Continuous-batching mode under faults: serve the arrival timeline
+  /// through the iteration-level RequestScheduler and, when a permanent
+  /// failure stops it, repair the plan (degrade + replanner escalation
+  /// ladder, exactly as `serve`), charge `opts.replan_penalty_s` on the
+  /// serving clock, and resume the still-incomplete requests on the
+  /// repaired plan.  The fault schedule speaks ORIGINAL device indices and
+  /// absolute times on the serving clock.  `copts.start_us`, `copts.faults`
+  /// and `copts.to_original` are managed by the engine; the other knobs
+  /// (threads, chunking, max_running) pass through.  The merged
+  /// RequestStats carries repair provenance (repairs_attempted/succeeded,
+  /// final_generation, final_plan) and stays bit-identical across thread
+  /// counts.  With no repair possible the remaining requests are lost,
+  /// mirroring the no-repair baseline of `serve`.
+  RequestStats serve_continuous(
+      const std::vector<sq::workload::TimedRequest>& arrivals,
+      const RecoveryOptions& opts = {},
+      const ContinuousOptions& copts = {}) const;
+
   /// Record recovery metrics (fault/repair counters, replan latency,
   /// recovery trace spans on the simulated clock) into the global obs
   /// registry during serve.  Off by default; recording never changes

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <sstream>
+#include <stdexcept>
 
 #include "tensor/rng.h"
 
@@ -110,21 +111,37 @@ FaultParse parse_fault_spec(const std::string& spec) {
       return out;
     }
     try {
+      // Full-consumption parses: stoi/stod alone would accept trailing
+      // junk ("1 extra") and hide typos.
       std::size_t used = 0;
-      e.device = std::stoi(item.substr(colon + 1, at - colon - 1), &used);
+      const auto whole = [&used](const std::string& s) {
+        if (used != s.size()) throw std::invalid_argument("trailing junk");
+      };
+      const std::string dev = item.substr(colon + 1, at - colon - 1);
+      e.device = std::stoi(dev, &used);
+      whole(dev);
       std::string rest = item.substr(at + 1);
       // <t>[+<d>][x<f>] — split off the factor first, then the duration.
       const auto x = rest.find('x');
       if (x != std::string::npos) {
-        e.factor = std::stod(rest.substr(x + 1));
+        if (e.kind == FaultKind::kDeviceFail) {
+          out.error = "factor not allowed on 'fail' in '" + item + "'";
+          return out;
+        }
+        const std::string fac = rest.substr(x + 1);
+        e.factor = std::stod(fac, &used);
+        whole(fac);
         rest = rest.substr(0, x);
       }
       const auto plus = rest.find('+');
       if (plus != std::string::npos) {
-        e.duration_us = std::stod(rest.substr(plus + 1)) * 1e6;
+        const std::string dur = rest.substr(plus + 1);
+        e.duration_us = std::stod(dur, &used) * 1e6;
+        whole(dur);
         rest = rest.substr(0, plus);
       }
-      e.start_us = std::stod(rest) * 1e6;
+      e.start_us = std::stod(rest, &used) * 1e6;
+      whole(rest);
     } catch (const std::exception&) {
       out.error = "bad number in fault item '" + item + "'";
       return out;

@@ -1,0 +1,82 @@
+// Seeded request-arrival timelines for continuous-batching serving.
+//
+// Whole-batch offline serving consumes pre-padded batch lists; the
+// continuous-batching scheduler (src/runtime/request_scheduler.h) instead
+// consumes a *timeline* of individual requests.  This module turns a small
+// spec grammar (the CLI's --arrivals flag) into a deterministic arrival
+// trace: request lengths are sampled from the paper's workload
+// distributions (src/workload/datasets.h) and arrival instants from
+// SplitMix64, so the trace is bit-identical for a fixed (spec, dataset,
+// seed) on every machine.
+//
+// Spec grammar (segments separated by ','; all numbers base-10):
+//   burst:<n>@<t>       n requests arriving together at absolute time <t> s
+//   uniform:<n>@<t>x<r> n requests at a constant rate of <r> req/s,
+//                       first arrival at absolute time <t> s
+//   poisson:<n>@<t>x<r> n requests with seeded exponential inter-arrival
+//                       gaps of mean 1/<r> s, accumulating from <t> s
+// Counts are >= 1 (capped at 1e6 per segment), times >= 0, rates > 0.
+// Segments may overlap in time; the generated trace is sorted by arrival
+// instant with the pre-sort request index as a stable tie-break.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/datasets.h"
+
+namespace sq::workload {
+
+/// One request of a continuous-serving trace, stamped with its arrival
+/// instant on the serving clock.
+struct TimedRequest {
+  double arrive_s = 0.0;
+  Request request;
+};
+
+/// One parsed segment of an --arrivals spec.
+struct ArrivalSegment {
+  enum class Kind { kBurst, kUniform, kPoisson };
+  Kind kind = Kind::kBurst;
+  std::uint64_t count = 0;  ///< Requests in the segment (>= 1).
+  double start_s = 0.0;     ///< Absolute time of the segment's origin.
+  double rate_per_s = 0.0;  ///< Arrival rate (uniform/poisson only; > 0).
+
+  /// Spec-grammar rendering of this segment ("burst:8@0.5").
+  std::string to_spec() const;
+};
+
+/// A parsed arrival spec: an ordered list of segments.
+struct ArrivalSpec {
+  std::vector<ArrivalSegment> segments;
+
+  bool empty() const { return segments.empty(); }
+
+  /// Total requests over all segments.
+  std::uint64_t total_requests() const;
+
+  /// Spec-grammar rendering (round-trips through parse_arrival_spec).
+  std::string to_spec() const;
+};
+
+/// Outcome of parsing an --arrivals spec string.
+struct ArrivalParse {
+  bool ok = false;
+  std::string error;  ///< One-line diagnostic when !ok.
+  ArrivalSpec spec;
+};
+
+/// Parse the spec grammar above.  An empty string parses to an empty
+/// spec.  Never throws: malformed input returns ok = false with a
+/// diagnostic naming the offending segment.
+ArrivalParse parse_arrival_spec(const std::string& spec);
+
+/// Expand a spec into the deterministic arrival trace: request lengths are
+/// sampled from `d` and poisson gaps from SplitMix64, both derived from
+/// `seed`; the result is sorted by (arrive_s, pre-sort index).  Identical
+/// for a fixed (spec, d, seed) everywhere.
+std::vector<TimedRequest> generate_arrivals(const ArrivalSpec& spec, Dataset d,
+                                            std::uint64_t seed);
+
+}  // namespace sq::workload

@@ -1,0 +1,154 @@
+// Tests for the seeded arrival-timeline generator and its spec grammar.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "workload/arrivals.h"
+
+namespace sq::workload {
+namespace {
+
+TEST(ArrivalSpec, EmptyStringParsesToEmptySpec) {
+  const ArrivalParse p = parse_arrival_spec("");
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_TRUE(p.spec.empty());
+  EXPECT_EQ(p.spec.total_requests(), 0u);
+}
+
+TEST(ArrivalSpec, ParsesAllThreeKinds) {
+  const ArrivalParse p =
+      parse_arrival_spec("burst:8@0.5,uniform:4@1x2,poisson:16@2.5x0.5");
+  ASSERT_TRUE(p.ok) << p.error;
+  ASSERT_EQ(p.spec.segments.size(), 3u);
+  EXPECT_EQ(p.spec.segments[0].kind, ArrivalSegment::Kind::kBurst);
+  EXPECT_EQ(p.spec.segments[0].count, 8u);
+  EXPECT_DOUBLE_EQ(p.spec.segments[0].start_s, 0.5);
+  EXPECT_EQ(p.spec.segments[1].kind, ArrivalSegment::Kind::kUniform);
+  EXPECT_DOUBLE_EQ(p.spec.segments[1].rate_per_s, 2.0);
+  EXPECT_EQ(p.spec.segments[2].kind, ArrivalSegment::Kind::kPoisson);
+  EXPECT_EQ(p.spec.segments[2].count, 16u);
+  EXPECT_EQ(p.spec.total_requests(), 28u);
+}
+
+TEST(ArrivalSpec, ToSpecRoundTrips) {
+  const std::string spec = "burst:8@0.5,uniform:4@1x2,poisson:16@2.5x0.5";
+  const ArrivalParse p = parse_arrival_spec(spec);
+  ASSERT_TRUE(p.ok) << p.error;
+  const ArrivalParse again = parse_arrival_spec(p.spec.to_spec());
+  ASSERT_TRUE(again.ok) << again.error;
+  EXPECT_EQ(again.spec.to_spec(), p.spec.to_spec());
+  ASSERT_EQ(again.spec.segments.size(), p.spec.segments.size());
+  for (std::size_t i = 0; i < p.spec.segments.size(); ++i) {
+    EXPECT_EQ(again.spec.segments[i].kind, p.spec.segments[i].kind);
+    EXPECT_EQ(again.spec.segments[i].count, p.spec.segments[i].count);
+    EXPECT_DOUBLE_EQ(again.spec.segments[i].start_s, p.spec.segments[i].start_s);
+    EXPECT_DOUBLE_EQ(again.spec.segments[i].rate_per_s,
+                     p.spec.segments[i].rate_per_s);
+  }
+}
+
+TEST(ArrivalSpec, RejectsMalformedSpecs) {
+  const char* bad[] = {
+      "gauss:4@0",        // unknown kind
+      "burst:4",          // missing @<t>
+      "burst:@1",         // missing count
+      "burst:0@1",        // count < 1
+      "burst:4@-1",       // negative start
+      "burst:4@1x2",      // rate on a burst
+      "uniform:4@1",      // missing rate
+      "uniform:4@1x0",    // rate must be > 0
+      "uniform:4@1x-3",   // negative rate
+      "poisson:4@1x",     // empty rate
+      "burst:4@1junk",    // trailing junk
+      "burst:4.5@1",      // fractional count
+      "burst:2000001@0",  // over the per-segment cap
+      "burst",            // no payload at all
+  };
+  for (const char* s : bad) {
+    const ArrivalParse p = parse_arrival_spec(s);
+    EXPECT_FALSE(p.ok) << "accepted: " << s;
+    EXPECT_FALSE(p.error.empty()) << s;
+  }
+}
+
+TEST(ArrivalSpec, IgnoresEmptySegments) {
+  const ArrivalParse p = parse_arrival_spec(",burst:2@0,,burst:3@1,");
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.spec.segments.size(), 2u);
+}
+
+TEST(GenerateArrivals, BurstStampsEveryRequestAtStart) {
+  const ArrivalParse p = parse_arrival_spec("burst:6@1.25");
+  ASSERT_TRUE(p.ok);
+  const auto trace = generate_arrivals(p.spec, Dataset::kCnnDailyMail, 7);
+  ASSERT_EQ(trace.size(), 6u);
+  for (const TimedRequest& t : trace) {
+    EXPECT_DOUBLE_EQ(t.arrive_s, 1.25);
+    EXPECT_GE(t.request.prompt_tokens, 1u);
+    EXPECT_GE(t.request.output_tokens, 1u);
+  }
+}
+
+TEST(GenerateArrivals, UniformSpacingMatchesRate) {
+  const ArrivalParse p = parse_arrival_spec("uniform:5@2x4");
+  ASSERT_TRUE(p.ok);
+  const auto trace = generate_arrivals(p.spec, Dataset::kCnnDailyMail, 7);
+  ASSERT_EQ(trace.size(), 5u);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_NEAR(trace[i].arrive_s, 2.0 + static_cast<double>(i) / 4.0, 1e-12);
+  }
+}
+
+TEST(GenerateArrivals, PoissonGapsAccumulateFromStart) {
+  const ArrivalParse p = parse_arrival_spec("poisson:32@3x2");
+  ASSERT_TRUE(p.ok);
+  const auto trace = generate_arrivals(p.spec, Dataset::kShareGpt, 11);
+  ASSERT_EQ(trace.size(), 32u);
+  EXPECT_GE(trace.front().arrive_s, 3.0);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].arrive_s, trace[i - 1].arrive_s);
+  }
+  // Mean gap should be in the right ballpark of 1/rate = 0.5 s.
+  const double span = trace.back().arrive_s - 3.0;
+  EXPECT_GT(span, 0.0);
+  EXPECT_LT(span / 32.0, 2.0);
+}
+
+TEST(GenerateArrivals, TraceIsSortedAndSeedDeterministic) {
+  const ArrivalParse p =
+      parse_arrival_spec("poisson:16@0x8,burst:8@0.5,uniform:8@0.1x16");
+  ASSERT_TRUE(p.ok);
+  const auto a = generate_arrivals(p.spec, Dataset::kLoogle, 42);
+  const auto b = generate_arrivals(p.spec, Dataset::kLoogle, 42);
+  ASSERT_EQ(a.size(), 32u);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end(),
+                             [](const TimedRequest& x, const TimedRequest& y) {
+                               return x.arrive_s < y.arrive_s;
+                             }));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrive_s, b[i].arrive_s);
+    EXPECT_EQ(a[i].request.prompt_tokens, b[i].request.prompt_tokens);
+    EXPECT_EQ(a[i].request.output_tokens, b[i].request.output_tokens);
+  }
+}
+
+TEST(GenerateArrivals, DifferentSeedsDiffer) {
+  const ArrivalParse p = parse_arrival_spec("poisson:32@0x4");
+  ASSERT_TRUE(p.ok);
+  const auto a = generate_arrivals(p.spec, Dataset::kCnnDailyMail, 1);
+  const auto b = generate_arrivals(p.spec, Dataset::kCnnDailyMail, 2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].arrive_s != b[i].arrive_s ||
+        a[i].request.prompt_tokens != b[i].request.prompt_tokens) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace sq::workload

@@ -1,0 +1,207 @@
+// Property tests for plan serialization: seeded random plans round-trip
+// byte-identically, and corrupted / truncated inputs always come back as
+// diagnostics, never as crashes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/plan.h"
+#include "sim/plan_io.h"
+
+namespace sq::sim {
+namespace {
+
+/// SplitMix64: the repo's standard seeded stream (cheap, reproducible).
+struct Rng {
+  std::uint64_t state;
+  explicit Rng(std::uint64_t seed) : state(seed) {}
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+  /// Uniform in [0, n).
+  std::uint64_t below(std::uint64_t n) { return n ? next() % n : 0; }
+};
+
+Bitwidth random_bits(Rng& rng) {
+  constexpr Bitwidth kAll[] = {Bitwidth::kInt3, Bitwidth::kInt4,
+                               Bitwidth::kInt8, Bitwidth::kFp16};
+  return kAll[rng.below(4)];
+}
+
+/// A structurally coherent random plan: contiguous layer cover, unique
+/// device indices, random bitwidths, and (sometimes) repair / shard
+/// provenance — the full surface plan_io round-trips.
+ExecutionPlan random_plan(std::uint64_t seed) {
+  Rng rng(seed);
+  ExecutionPlan p;
+  const int layers = 1 + static_cast<int>(rng.below(80));
+  const int stages = 1 + static_cast<int>(rng.below(
+                             static_cast<std::uint64_t>(std::min(layers, 6))));
+  int next_device = 0;
+  int begin = 0;
+  for (int s = 0; s < stages; ++s) {
+    StageSpec st;
+    const int tp = 1 + static_cast<int>(rng.below(3));
+    for (int d = 0; d < tp; ++d) st.devices.push_back(next_device++);
+    st.layer_begin = begin;
+    const int remaining_stages = stages - s - 1;
+    const int max_take = layers - begin - remaining_stages;
+    st.layer_end = (s + 1 == stages)
+                       ? layers
+                       : begin + 1 + static_cast<int>(rng.below(
+                                         static_cast<std::uint64_t>(max_take)));
+    begin = st.layer_end;
+    p.stages.push_back(st);
+  }
+  for (int l = 0; l < layers; ++l) p.layer_bits.push_back(random_bits(rng));
+  p.prefill_microbatch = 1 + rng.below(32);
+  p.decode_microbatch = 1 + rng.below(64);
+  p.kv_bits = random_bits(rng);
+  // No empty scheme: plan_io canonicalizes it to "unnamed" on save.
+  const char* schemes[] = {"splitquant", "uniform", "memory-greedy", "unnamed"};
+  p.scheme = schemes[rng.below(4)];
+  if (rng.below(2)) {
+    p.repair_generation = 1 + static_cast<int>(rng.below(4));
+    const int n_excluded = 1 + static_cast<int>(rng.below(3));
+    for (int i = 0; i < n_excluded; ++i) {
+      p.excluded_devices.push_back(next_device + i);
+    }
+  }
+  if (rng.below(2)) {
+    p.num_shards = 2 + static_cast<int>(rng.below(4));
+    p.shard_index = static_cast<int>(rng.below(
+        static_cast<std::uint64_t>(p.num_shards)));
+  }
+  return p;
+}
+
+void expect_plans_equal(const ExecutionPlan& a, const ExecutionPlan& b,
+                        std::uint64_t seed) {
+  ASSERT_EQ(a.stages.size(), b.stages.size()) << "seed " << seed;
+  for (std::size_t s = 0; s < a.stages.size(); ++s) {
+    EXPECT_EQ(a.stages[s].devices, b.stages[s].devices) << "seed " << seed;
+    EXPECT_EQ(a.stages[s].layer_begin, b.stages[s].layer_begin);
+    EXPECT_EQ(a.stages[s].layer_end, b.stages[s].layer_end);
+  }
+  EXPECT_EQ(a.layer_bits, b.layer_bits) << "seed " << seed;
+  EXPECT_EQ(a.prefill_microbatch, b.prefill_microbatch);
+  EXPECT_EQ(a.decode_microbatch, b.decode_microbatch);
+  EXPECT_EQ(a.kv_bits, b.kv_bits);
+  EXPECT_EQ(a.scheme, b.scheme);
+  EXPECT_EQ(a.repair_generation, b.repair_generation);
+  EXPECT_EQ(a.excluded_devices, b.excluded_devices);
+  EXPECT_EQ(a.shard_index, b.shard_index);
+  EXPECT_EQ(a.num_shards, b.num_shards);
+}
+
+TEST(PlanIoProperty, RandomPlansRoundTripByteIdentically) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    const ExecutionPlan plan = random_plan(seed);
+    const std::string text = plan_to_string(plan);
+    const LoadResult loaded = plan_from_string(text);
+    ASSERT_TRUE(loaded.ok) << "seed " << seed << ": " << loaded.error
+                           << "\n" << text;
+    expect_plans_equal(plan, loaded.plan, seed);
+    // Save -> load -> save is byte-identical: the format is canonical.
+    EXPECT_EQ(plan_to_string(loaded.plan), text) << "seed " << seed;
+  }
+}
+
+TEST(PlanIoProperty, CorruptedBytesNeverCrashAndAlwaysDiagnose) {
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    Rng rng(0xC0FFEE ^ seed);
+    std::string text = plan_to_string(random_plan(seed));
+    // Flip 1..4 bytes to printable junk.
+    const int flips = 1 + static_cast<int>(rng.below(4));
+    for (int f = 0; f < flips && !text.empty(); ++f) {
+      const std::size_t pos = rng.below(text.size());
+      text[pos] = static_cast<char>('!' + rng.below(94));
+    }
+    LoadResult r;
+    ASSERT_NO_THROW(r = plan_from_string(text)) << "seed " << seed;
+    if (!r.ok) {
+      EXPECT_FALSE(r.error.empty()) << "seed " << seed;
+    } else {
+      // A mutation may happen to stay well-formed; the result must then
+      // still serialize canonically.
+      const std::string again = plan_to_string(r.plan);
+      const LoadResult r2 = plan_from_string(again);
+      ASSERT_TRUE(r2.ok) << "seed " << seed;
+      EXPECT_EQ(plan_to_string(r2.plan), again) << "seed " << seed;
+    }
+  }
+}
+
+TEST(PlanIoProperty, TruncationsNeverCrash) {
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    Rng rng(0xBEEF ^ seed);
+    const std::string text = plan_to_string(random_plan(seed));
+    for (int cut = 0; cut < 8; ++cut) {
+      const std::string prefix = text.substr(0, rng.below(text.size() + 1));
+      LoadResult r;
+      ASSERT_NO_THROW(r = plan_from_string(prefix)) << "seed " << seed;
+      if (!r.ok) {
+        EXPECT_FALSE(r.error.empty()) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(PlanIoProperty, DroppedLinesNeverCrash) {
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    Rng rng(0xD00D ^ seed);
+    const std::string text = plan_to_string(random_plan(seed));
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start < text.size()) {
+      const std::size_t nl = text.find('\n', start);
+      const std::size_t end = nl == std::string::npos ? text.size() : nl;
+      lines.push_back(text.substr(start, end - start));
+      start = end + 1;
+    }
+    if (lines.empty()) continue;
+    const std::size_t drop = rng.below(lines.size());
+    std::string mutated;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (i == drop) continue;
+      mutated += lines[i];
+      mutated += '\n';
+    }
+    LoadResult r;
+    ASSERT_NO_THROW(r = plan_from_string(mutated)) << "seed " << seed;
+    if (!r.ok) {
+      EXPECT_FALSE(r.error.empty()) << "seed " << seed;
+    }
+  }
+}
+
+TEST(PlanIoProperty, GarbageInputsNeverCrash) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng(0xFACE ^ seed);
+    std::string junk;
+    const std::size_t len = rng.below(256);
+    for (std::size_t i = 0; i < len; ++i) {
+      // Mostly printable with occasional newlines and NULs.
+      const std::uint64_t roll = rng.below(20);
+      if (roll == 0) {
+        junk += '\n';
+      } else if (roll == 1) {
+        junk += '\0';
+      } else {
+        junk += static_cast<char>(' ' + rng.below(95));
+      }
+    }
+    LoadResult r;
+    ASSERT_NO_THROW(r = plan_from_string(junk)) << "seed " << seed;
+    EXPECT_FALSE(r.ok) << "seed " << seed;  // junk never has the v1 header
+    EXPECT_FALSE(r.error.empty()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace sq::sim

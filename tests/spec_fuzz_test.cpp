@@ -1,0 +1,257 @@
+// Grammar fuzz tests for the CLI spec parsers: --faults, --jobs and
+// --arrivals.  Seeded valid generators must round-trip; seeded mutations
+// and raw ASCII noise must either parse or reject with a one-line
+// diagnostic — exceptions never escape any parser.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/fleet.h"
+#include "sim/faults.h"
+#include "workload/arrivals.h"
+
+namespace {
+
+struct Rng {
+  std::uint64_t state;
+  explicit Rng(std::uint64_t seed) : state(seed) {}
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t below(std::uint64_t n) { return n ? next() % n : 0; }
+};
+
+/// Charset biased toward the grammars' own separators so mutations probe
+/// parser edges, not just unknown-character rejection.
+char noise_char(Rng& rng) {
+  constexpr char kBiased[] = ":@x+,.-0123456789abcdefghijklmnopqrstuvwxyz";
+  if (rng.below(4) == 0) {
+    return static_cast<char>(' ' + rng.below(95));
+  }
+  return kBiased[rng.below(sizeof(kBiased) - 1)];
+}
+
+std::string mutate(const std::string& input, Rng& rng) {
+  std::string s = input;
+  const int edits = 1 + static_cast<int>(rng.below(3));
+  for (int e = 0; e < edits; ++e) {
+    const std::uint64_t op = rng.below(3);
+    if (op == 0 && !s.empty()) {
+      s[rng.below(s.size())] = noise_char(rng);          // replace
+    } else if (op == 1 && !s.empty()) {
+      s.erase(rng.below(s.size()), 1);                   // delete
+    } else {
+      s.insert(rng.below(s.size() + 1), 1, noise_char(rng));  // insert
+    }
+  }
+  return s;
+}
+
+std::string random_noise(Rng& rng, std::size_t max_len) {
+  std::string s;
+  const std::size_t len = rng.below(max_len);
+  for (std::size_t i = 0; i < len; ++i) s += noise_char(rng);
+  return s;
+}
+
+// ---------------------------------------------------------------- faults
+
+TEST(SpecFuzz, ValidFaultSchedulesRoundTrip) {
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    sq::sim::FaultSchedule sched =
+        sq::sim::random_fault_schedule(seed, 8, 60.0, 1 + seed % 6);
+    sched.normalize();
+    const std::string spec = sched.to_spec();
+    const sq::sim::FaultParse p = sq::sim::parse_fault_spec(spec);
+    ASSERT_TRUE(p.ok) << "seed " << seed << ": " << p.error << "\n" << spec;
+    ASSERT_EQ(p.schedule.events.size(), sched.events.size()) << spec;
+    EXPECT_EQ(p.schedule.to_spec(), spec) << "seed " << seed;
+  }
+}
+
+TEST(SpecFuzz, MutatedFaultSpecsNeverThrow) {
+  for (std::uint64_t seed = 0; seed < 400; ++seed) {
+    Rng rng(0xFA015 ^ (seed * 1315423911ULL));
+    sq::sim::FaultSchedule sched =
+        sq::sim::random_fault_schedule(seed, 8, 60.0, 1 + seed % 4);
+    sched.normalize();
+    const std::string spec = mutate(sched.to_spec(), rng);
+    sq::sim::FaultParse p;
+    ASSERT_NO_THROW(p = sq::sim::parse_fault_spec(spec)) << spec;
+    if (!p.ok) {
+      EXPECT_FALSE(p.error.empty()) << spec;
+    }
+  }
+}
+
+TEST(SpecFuzz, NoiseFaultSpecsNeverThrow) {
+  for (std::uint64_t seed = 0; seed < 400; ++seed) {
+    Rng rng(0x50DA ^ (seed * 2654435761ULL));
+    const std::string spec = random_noise(rng, 64);
+    sq::sim::FaultParse p;
+    ASSERT_NO_THROW(p = sq::sim::parse_fault_spec(spec)) << spec;
+    if (!p.ok) {
+      EXPECT_FALSE(p.error.empty()) << spec;
+    }
+  }
+}
+
+TEST(SpecFuzz, FaultSpecRejectsKnownBadShapes) {
+  const char* bad[] = {
+      "fail",           "fail:",         "fail:x@1",      "fail:1@",
+      "fail:1@abc",     "fail:-1@1",     "slow:1@1",      "slow:1@1x0.5",
+      "slow:1@1x",      "link:1@1",      "boom:1@1",      "fail:1@1x2",
+      "fail:1@1+",      "fail:1@1+-2",   "slow:1@1+2",    "fail:1@1 trail",
+  };
+  for (const char* s : bad) {
+    const sq::sim::FaultParse p = sq::sim::parse_fault_spec(s);
+    EXPECT_FALSE(p.ok) << "accepted: " << s;
+    EXPECT_FALSE(p.error.empty()) << s;
+  }
+}
+
+// ------------------------------------------------------------------ jobs
+
+std::string random_job_name(Rng& rng) {
+  constexpr char kName[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-";
+  std::string s;
+  const std::size_t len = 1 + rng.below(12);
+  for (std::size_t i = 0; i < len; ++i) s += kName[rng.below(sizeof(kName) - 1)];
+  return s;
+}
+
+TEST(SpecFuzz, ValidJobsSpecsRoundTrip) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng(0x1057 ^ (seed * 976369ULL));
+    std::string spec;
+    std::vector<std::string> names;
+    std::vector<std::uint64_t> counts;
+    const int n = 1 + static_cast<int>(rng.below(6));
+    for (int i = 0; i < n; ++i) {
+      names.push_back(random_job_name(rng));
+      counts.push_back(1 + rng.below(1000000));
+      if (i) spec += ',';
+      spec += names.back() + ":" + std::to_string(counts.back());
+    }
+    const sq::runtime::JobsParse p = sq::runtime::parse_jobs_spec(spec);
+    ASSERT_TRUE(p.ok) << spec << ": " << p.error;
+    ASSERT_EQ(p.items.size(), names.size()) << spec;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      EXPECT_EQ(p.items[i].name, names[i]);
+      EXPECT_EQ(p.items[i].requests, counts[i]);
+    }
+  }
+}
+
+TEST(SpecFuzz, MutatedJobsSpecsNeverThrow) {
+  for (std::uint64_t seed = 0; seed < 400; ++seed) {
+    Rng rng(0xBAD10 ^ (seed * 31337ULL));
+    std::string spec = "alpha:32,beta:8,gamma:512";
+    spec = mutate(spec, rng);
+    sq::runtime::JobsParse p;
+    ASSERT_NO_THROW(p = sq::runtime::parse_jobs_spec(spec)) << spec;
+    if (!p.ok) {
+      EXPECT_FALSE(p.error.empty()) << spec;
+    }
+    for (const auto& item : p.items) {
+      // Whatever survives parsing satisfies the documented invariants.
+      EXPECT_FALSE(item.name.empty()) << spec;
+      EXPECT_GE(item.requests, 1u) << spec;
+      EXPECT_LE(item.requests, 1000000u) << spec;
+    }
+  }
+}
+
+TEST(SpecFuzz, NoiseJobsSpecsNeverThrow) {
+  for (std::uint64_t seed = 0; seed < 400; ++seed) {
+    Rng rng(0x90B5 ^ (seed * 40503ULL));
+    const std::string spec = random_noise(rng, 48);
+    sq::runtime::JobsParse p;
+    ASSERT_NO_THROW(p = sq::runtime::parse_jobs_spec(spec)) << spec;
+    if (!p.ok) {
+      EXPECT_FALSE(p.error.empty()) << spec;
+    }
+  }
+}
+
+TEST(SpecFuzz, JobsSpecRejectsKnownBadShapes) {
+  const char* bad[] = {
+      "job",        ":4",        "job:",      "job:0",     "job:-3",
+      "job:4x",     "job:4.5",   "a:b:3",     "job:1000001",
+      "job: 4",     "job:99999999999999999999",
+  };
+  for (const char* s : bad) {
+    const sq::runtime::JobsParse p = sq::runtime::parse_jobs_spec(s);
+    EXPECT_FALSE(p.ok) << "accepted: " << s;
+    EXPECT_FALSE(p.error.empty()) << s;
+  }
+}
+
+// -------------------------------------------------------------- arrivals
+
+TEST(SpecFuzz, ValidArrivalSpecsRoundTrip) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng(0xA331 ^ (seed * 69069ULL));
+    sq::workload::ArrivalSpec spec;
+    const int n = 1 + static_cast<int>(rng.below(5));
+    for (int i = 0; i < n; ++i) {
+      sq::workload::ArrivalSegment seg;
+      const std::uint64_t kind = rng.below(3);
+      seg.kind = kind == 0 ? sq::workload::ArrivalSegment::Kind::kBurst
+                 : kind == 1 ? sq::workload::ArrivalSegment::Kind::kUniform
+                             : sq::workload::ArrivalSegment::Kind::kPoisson;
+      seg.count = 1 + rng.below(1000000);
+      seg.start_s = static_cast<double>(rng.below(10000)) / 100.0;
+      if (seg.kind != sq::workload::ArrivalSegment::Kind::kBurst) {
+        seg.rate_per_s = static_cast<double>(1 + rng.below(6400)) / 64.0;
+      }
+      spec.segments.push_back(seg);
+    }
+    const std::string text = spec.to_spec();
+    const sq::workload::ArrivalParse p = sq::workload::parse_arrival_spec(text);
+    ASSERT_TRUE(p.ok) << text << ": " << p.error;
+    EXPECT_EQ(p.spec.to_spec(), text) << "seed " << seed;
+    EXPECT_EQ(p.spec.total_requests(), spec.total_requests());
+  }
+}
+
+TEST(SpecFuzz, MutatedArrivalSpecsNeverThrow) {
+  for (std::uint64_t seed = 0; seed < 400; ++seed) {
+    Rng rng(0xA77 ^ (seed * 2246822519ULL));
+    std::string spec = "burst:16@0,uniform:8@2x4,poisson:32@5x0.5";
+    spec = mutate(spec, rng);
+    sq::workload::ArrivalParse p;
+    ASSERT_NO_THROW(p = sq::workload::parse_arrival_spec(spec)) << spec;
+    if (!p.ok) {
+      EXPECT_FALSE(p.error.empty()) << spec;
+    } else {
+      for (const auto& seg : p.spec.segments) {
+        EXPECT_GE(seg.count, 1u) << spec;
+        EXPECT_GE(seg.start_s, 0.0) << spec;
+        if (seg.kind != sq::workload::ArrivalSegment::Kind::kBurst) {
+          EXPECT_GT(seg.rate_per_s, 0.0) << spec;
+        }
+      }
+    }
+  }
+}
+
+TEST(SpecFuzz, NoiseArrivalSpecsNeverThrow) {
+  for (std::uint64_t seed = 0; seed < 400; ++seed) {
+    Rng rng(0xA001 ^ (seed * 362437ULL));
+    const std::string spec = random_noise(rng, 64);
+    sq::workload::ArrivalParse p;
+    ASSERT_NO_THROW(p = sq::workload::parse_arrival_spec(spec)) << spec;
+    if (!p.ok) {
+      EXPECT_FALSE(p.error.empty()) << spec;
+    }
+  }
+}
+
+}  // namespace
