@@ -84,6 +84,11 @@ QualityReport evaluate_quality(const TinyTransformer& model,
   std::size_t positions = 0, agree = 0;
   std::vector<double> p_ref, p_q;
 
+  // Quantize all configured layers up front (parallel, cache-shared): the
+  // per-sequence forward passes below then reuse the packed weights
+  // instead of re-quantizing per matmul.  Bit-identical either way.
+  model.prewarm_quant(quant);
+
   for (const auto& seq : sequences) {
     const Tensor ref = model.forward(seq);
     const Tensor qlog = model.forward(seq, quant);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "quant/qtensor.h"
+#include "quant/quant_cache.h"
 #include "tensor/ops.h"
 
 namespace sq::nn {
@@ -136,15 +137,42 @@ Tensor TinyTransformer::apply_linear(const Tensor& x, const Tensor& w,
     // FP16 storage loss is negligible at these scales; treat as reference.
     return sq::tensor::matmul(x, w);
   }
-  // Weight-only kernel path: quantize, dequantize, FP MACs.
-  Rng rng(sq::tensor::derive_seed(
+  // Weight-only kernel path: quantize (served from the process-wide
+  // QuantCache — the probe and the engines re-apply the same configs to
+  // the same weights constantly), then the fused dequantize-matmul.  For
+  // stochastic rounding the per-(layer, op) derived seed keys the cache
+  // entry and recreates the rng stream, so cached and fresh results are
+  // bit-identical.
+  const std::uint64_t seed = sq::tensor::derive_seed(
       cfg_.seed, (static_cast<std::uint64_t>(layer) << 8) |
-                     static_cast<std::uint64_t>(static_cast<int>(op))));
-  const sq::quant::QTensor qw(w, lq->bits, lq->scheme, lq->rounding, lq->group_size,
-                              &rng);
+                     static_cast<std::uint64_t>(static_cast<int>(op)));
+  const auto qw = sq::quant::QuantCache::global().get_or_quantize(
+      w, lq->bits, lq->scheme, lq->rounding, lq->group_size, seed);
   // Fused dequantize-matmul: weight panels are reconstructed inside the
   // blocked kernel's pack step, never materialized as a full tensor.
-  return qw.matmul(x);
+  return qw->matmul(x);
+}
+
+void TinyTransformer::prewarm_quant(std::span<const LayerQuant> quant) const {
+  std::vector<sq::quant::QuantJob> jobs;
+  jobs.reserve(quant.size() * static_cast<std::size_t>(Op::kCount));
+  for (std::size_t layer = 0; layer < quant.size(); ++layer) {
+    const LayerQuant& lq = quant[layer];
+    if (lq.bits == Bitwidth::kFp16) continue;  // forward never quantizes these
+    for (int op = 0; op < static_cast<int>(Op::kCount); ++op) {
+      sq::quant::QuantJob job;
+      job.weights = &weights(static_cast<int>(layer), static_cast<Op>(op));
+      job.bits = lq.bits;
+      job.scheme = lq.scheme;
+      job.rounding = lq.rounding;
+      job.group_size = lq.group_size;
+      job.seed = sq::tensor::derive_seed(
+          cfg_.seed, (static_cast<std::uint64_t>(layer) << 8) |
+                         static_cast<std::uint64_t>(op));
+      jobs.push_back(job);
+    }
+  }
+  sq::quant::QuantCache::global().quantize_model(jobs);
 }
 
 Tensor TinyTransformer::run_layer(const LayerWeights& lw, const Tensor& x, int layer,

@@ -89,6 +89,12 @@ class TinyTransformer {
   /// Empty before calibrate() runs.  Used by the Hessian indicator.
   const Tensor& calibration_activations(int layer, Op op) const;
 
+  /// Pre-quantize every non-FP16 (layer, op) weight of `quant` into the
+  /// process-wide QuantCache, fanned out over the kernel thread pool.
+  /// Forward passes then hit the cache instead of quantizing inline.
+  /// Purely a warm-up — results are bit-identical with or without it.
+  void prewarm_quant(std::span<const LayerQuant> quant) const;
+
  private:
   Tensor run_layer(const LayerWeights& lw, const Tensor& x, int layer,
                    const LayerQuant* lq, bool capture) const;

@@ -25,6 +25,13 @@ struct GptqOptions {
   Scheme scheme = Scheme::kAsymmetric;
   std::size_t group_size = 64;  ///< Elements per scale group along a row.
   double damping = 0.01;        ///< Fraction of mean diagonal added to H.
+  /// Lazy-update block width of the OBQ sweep (Frantar et al.'s blocking).
+  /// Rounding-error propagation and Schur updates to channels beyond the
+  /// current block are batched per block instead of per column; every
+  /// per-element update chain still runs in ascending pivot order with the
+  /// identical arithmetic, so results are bit-identical for ANY value
+  /// (1 = the original column-wise sweep; asserted in tests/gptq_test.cpp).
+  std::size_t obq_block = 128;
 };
 
 /// Result of a GPTQ quantization run.
@@ -47,5 +54,15 @@ GptqResult gptq_quantize(const sq::tensor::Tensor& weights,
 GptqResult rtn_quantize(const sq::tensor::Tensor& weights,
                         const sq::tensor::Tensor& calibration,
                         const GptqOptions& opts);
+
+/// Frozen pre-optimization implementation: the column-at-a-time OBQ sweep
+/// with the scalar Cholesky inverse and the scalar per-group row
+/// quantizer, exactly as shipped before the blocked pipeline.  Kept as the
+/// bit-equality oracle — gptq_quantize must reproduce its `dequantized`
+/// bytes for any obq_block / thread count / ISA level (asserted in
+/// tests/gptq_test.cpp and bench_quant_pipeline).  Ignores opts.obq_block.
+GptqResult gptq_quantize_reference(const sq::tensor::Tensor& weights,
+                                   const sq::tensor::Tensor& calibration,
+                                   const GptqOptions& opts);
 
 }  // namespace sq::quant

@@ -4,13 +4,15 @@
 #include <cassert>
 #include <cmath>
 
+#include "quant/qkernels.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
 
 namespace sq::quant {
 
 QTensor::QTensor(const sq::tensor::Tensor& weights, Bitwidth b, Scheme scheme,
-                 Rounding rounding, std::size_t group_size, sq::tensor::Rng* rng)
+                 Rounding rounding, std::size_t group_size, sq::tensor::Rng* rng,
+                 bool compute_mse)
     : bitwidth_(b),
       scheme_(scheme),
       rows_(weights.rows()),
@@ -19,35 +21,61 @@ QTensor::QTensor(const sq::tensor::Tensor& weights, Bitwidth b, Scheme scheme,
   const auto flat = weights.data();
   if (b == Bitwidth::kFp16) {
     fp16_passthrough_.resize(flat.size());
-    double acc = 0.0;
     for (std::size_t i = 0; i < flat.size(); ++i) {
       fp16_passthrough_[i] = to_fp16(flat[i]);
-      const double d = fp16_passthrough_[i] - flat[i];
-      acc += d * d;
     }
-    mse_ = flat.empty() ? 0.0 : acc / static_cast<double>(flat.size());
+    if (compute_mse) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < flat.size(); ++i) {
+        const double d = fp16_passthrough_[i] - flat[i];
+        acc += d * d;
+      }
+      mse_ = flat.empty() ? 0.0 : acc / static_cast<double>(flat.size());
+    }
     return;
   }
 
   codes_.resize(flat.size());
   const std::size_t n_groups = (flat.size() + group_size_ - 1) / group_size_;
-  params_.reserve(n_groups);
-  double acc = 0.0;
-  for (std::size_t g = 0; g < n_groups; ++g) {
-    const std::size_t begin = g * group_size_;
-    const std::size_t len = std::min(group_size_, flat.size() - begin);
-    const auto chunk = flat.subspan(begin, len);
-    const QuantParams p = compute_params(chunk, b, scheme_);
-    quantize(chunk, p, b, scheme_, rounding, rng,
-             std::span<std::int32_t>(codes_).subspan(begin, len));
-    params_.push_back(p);
-    for (std::size_t i = 0; i < len; ++i) {
-      const double rec = p.scale * static_cast<double>(codes_[begin + i]) + p.zero;
-      const double d = rec - chunk[i];
-      acc += d * d;
+  if (rounding == Rounding::kDeterministic && !flat.empty()) {
+    // Hoisted fast path: one batched min/max scan feeds all group params,
+    // then one dispatched grouped-quantize call covers the whole tensor.
+    // Byte-identical to the per-group compute_params/quantize loop below
+    // (asserted in tests/qkernels_test.cpp).
+    std::vector<float> mins(n_groups), maxs(n_groups);
+    group_minmax(flat, group_size_, mins, maxs);
+    params_.reserve(n_groups);
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      params_.push_back(params_from_range(mins[g], maxs[g], b, scheme_));
+    }
+    const auto [lo, hi] = code_range(b, scheme_);
+    quantize_grouped(flat, params_, group_size_, lo, hi, codes_);
+  } else {
+    params_.reserve(n_groups);
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      const std::size_t begin = g * group_size_;
+      const std::size_t len = std::min(group_size_, flat.size() - begin);
+      const auto chunk = flat.subspan(begin, len);
+      const QuantParams p = compute_params(chunk, b, scheme_);
+      quantize(chunk, p, b, scheme_, rounding, rng,
+               std::span<std::int32_t>(codes_).subspan(begin, len));
+      params_.push_back(p);
     }
   }
-  mse_ = flat.empty() ? 0.0 : acc / static_cast<double>(flat.size());
+  if (compute_mse) {
+    double acc = 0.0;
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      const std::size_t begin = g * group_size_;
+      const std::size_t len = std::min(group_size_, flat.size() - begin);
+      const QuantParams& p = params_[g];
+      for (std::size_t i = 0; i < len; ++i) {
+        const double rec = p.scale * static_cast<double>(codes_[begin + i]) + p.zero;
+        const double d = rec - flat[begin + i];
+        acc += d * d;
+      }
+    }
+    mse_ = flat.empty() ? 0.0 : acc / static_cast<double>(flat.size());
+  }
 }
 
 sq::tensor::Tensor QTensor::dequantize() const {

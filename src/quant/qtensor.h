@@ -18,10 +18,13 @@ class QTensor {
  public:
   /// Quantize `weights` at bitwidth `b` with `group_size` elements per
   /// scale group (0 means one group per row).  Stochastic rounding draws
-  /// from `rng` when requested.
+  /// from `rng` when requested.  `compute_mse` controls the construction
+  /// MSE accumulation (a serial double chain); hot paths that never read
+  /// mse_vs_original() pass false and skip it — codes/params are identical
+  /// either way.
   QTensor(const sq::tensor::Tensor& weights, Bitwidth b, Scheme scheme,
           Rounding rounding, std::size_t group_size = 128,
-          sq::tensor::Rng* rng = nullptr);
+          sq::tensor::Rng* rng = nullptr, bool compute_mse = true);
 
   /// Bitwidth the weights are stored at.
   Bitwidth bitwidth() const { return bitwidth_; }
@@ -47,7 +50,8 @@ class QTensor {
   std::uint64_t storage_bytes() const;
 
   /// Mean squared error against the original weights (computed at
-  /// construction; the indicator comparisons use it).
+  /// construction when `compute_mse` was requested; the indicator
+  /// comparisons use it).  0.0 when construction skipped it.
   double mse_vs_original() const { return mse_; }
 
  private:

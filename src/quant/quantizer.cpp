@@ -4,9 +4,30 @@
 #include <cassert>
 #include <cmath>
 
+#include "quant/qkernels.h"
 #include "tensor/stats.h"
 
 namespace sq::quant {
+
+namespace {
+
+/// One scalar quantization loop, parameterized over the rounding rule.
+/// Both reference paths (deterministic nearbyint, stochastic floor+coin)
+/// instantiate this template, so there is exactly one copy of the
+/// scale/shift/clamp arithmetic the SIMD kernels must reproduce.
+template <typename RoundFn>
+void quantize_with(std::span<const float> values, const QuantParams& params,
+                   std::int32_t lo, std::int32_t hi, RoundFn&& round,
+                   std::span<std::int32_t> codes_out) {
+  const float inv_scale = params.scale != 0.0f ? 1.0f / params.scale : 0.0f;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const float scaled = (values[i] - params.zero) * inv_scale;
+    const float rounded = round(scaled);
+    codes_out[i] = std::clamp(static_cast<std::int32_t>(rounded), lo, hi);
+  }
+}
+
+}  // namespace
 
 float scale_for_range(float w_min, float w_max, Bitwidth b, Scheme scheme) {
   if (b == Bitwidth::kFp16) return 1.0f;
@@ -24,9 +45,16 @@ float scale_for_range(float w_min, float w_max, Bitwidth b, Scheme scheme) {
 QuantParams compute_params(std::span<const float> values, Bitwidth b, Scheme scheme) {
   QuantParams p;
   if (b == Bitwidth::kFp16 || values.empty()) return p;
-  const auto [mn, mx] = std::minmax_element(values.begin(), values.end());
-  p.scale = scale_for_range(*mn, *mx, b, scheme);
-  p.zero = scheme == Scheme::kAsymmetric ? *mn : 0.0f;
+  float mn = 0.0f, mx = 0.0f;
+  minmax(values, &mn, &mx);  // kernel-dispatched; matches minmax_element bytes
+  return params_from_range(mn, mx, b, scheme);
+}
+
+QuantParams params_from_range(float w_min, float w_max, Bitwidth b, Scheme scheme) {
+  QuantParams p;
+  if (b == Bitwidth::kFp16) return p;
+  p.scale = scale_for_range(w_min, w_max, b, scheme);
+  p.zero = scheme == Scheme::kAsymmetric ? w_min : 0.0f;
   return p;
 }
 
@@ -46,23 +74,39 @@ void quantize(std::span<const float> values, const QuantParams& params, Bitwidth
   assert((rounding != Rounding::kStochastic || rng != nullptr) &&
          "stochastic rounding needs an RNG");
   const auto [lo, hi] = code_range(b, scheme);
-  const float inv_scale = params.scale != 0.0f ? 1.0f / params.scale : 0.0f;
-  for (std::size_t i = 0; i < values.size(); ++i) {
-    const float scaled = (values[i] - params.zero) * inv_scale;
-    float rounded;
-    if (rounding == Rounding::kDeterministic) {
-      rounded = std::nearbyint(scaled);
-    } else {
-      const float fl = std::floor(scaled);
-      const float frac = scaled - fl;
-      rounded = fl + (rng->uniform() < frac ? 1.0f : 0.0f);
-    }
-    codes_out[i] = std::clamp(static_cast<std::int32_t>(rounded), lo, hi);
+  if (rounding == Rounding::kDeterministic) {
+    quantize_codes(values, params, lo, hi, codes_out);
+    return;
   }
+  // Stochastic rounding consumes one variate per element in order; it stays
+  // scalar so the rng stream is identical regardless of ISA or threads.
+  quantize_with(values, params, lo, hi,
+                [rng](float scaled) {
+                  const float fl = std::floor(scaled);
+                  const float frac = scaled - fl;
+                  return fl + (rng->uniform() < frac ? 1.0f : 0.0f);
+                },
+                codes_out);
 }
 
 void dequantize(std::span<const std::int32_t> codes, const QuantParams& params,
                 std::span<float> values_out) {
+  assert(values_out.size() == codes.size());
+  dequantize_codes(codes, params, values_out);
+}
+
+void quantize_reference(std::span<const float> values, const QuantParams& params,
+                        Bitwidth b, Scheme scheme,
+                        std::span<std::int32_t> codes_out) {
+  assert(codes_out.size() == values.size());
+  const auto [lo, hi] = code_range(b, scheme);
+  quantize_with(values, params, lo, hi,
+                [](float scaled) { return std::nearbyint(scaled); }, codes_out);
+}
+
+void dequantize_reference(std::span<const std::int32_t> codes,
+                          const QuantParams& params,
+                          std::span<float> values_out) {
   assert(values_out.size() == codes.size());
   for (std::size_t i = 0; i < codes.size(); ++i) {
     values_out[i] = params.scale * static_cast<float>(codes[i]) + params.zero;

@@ -39,6 +39,12 @@ struct QuantParams {
 /// For kFp16 the identity mapping (scale 1, zero 0) is returned.
 QuantParams compute_params(std::span<const float> values, Bitwidth b, Scheme scheme);
 
+/// Parameters from an already-known value range — the hoisted form of
+/// compute_params for callers that batch the min/max scan (qkernels).
+/// Bit-identical to compute_params on a span whose extrema are
+/// (w_min, w_max); returns the identity mapping for kFp16.
+QuantParams params_from_range(float w_min, float w_max, Bitwidth b, Scheme scheme);
+
 /// The scaling factor S_W(b) for the given weight range, per the paper's
 /// closed forms: (max-min)/(2^b - 1) asymmetric, max|.|/(2^(b-1) - 1)
 /// symmetric.  Exposed separately because the variance indicator
@@ -59,6 +65,17 @@ void quantize(std::span<const float> values, const QuantParams& params, Bitwidth
 /// Dequantize codes back to floats: x~ = scale * code + zero.
 void dequantize(std::span<const std::int32_t> codes, const QuantParams& params,
                 std::span<float> values_out);
+
+/// Scalar reference loops, kept verbatim as the byte-equality oracle the
+/// ISA-dispatched kernels (qkernels.h) are tested against.  `quantize`/
+/// `dequantize` above route deterministic work through the kernels and are
+/// asserted bit-identical to these in tests/qkernels_test.cpp.
+void quantize_reference(std::span<const float> values, const QuantParams& params,
+                        Bitwidth b, Scheme scheme,
+                        std::span<std::int32_t> codes_out);
+void dequantize_reference(std::span<const std::int32_t> codes,
+                          const QuantParams& params,
+                          std::span<float> values_out);
 
 /// Round-trip `values` through quantization at bitwidth `b` and return the
 /// reconstruction; convenience for error studies.  FP16 bitwidth applies

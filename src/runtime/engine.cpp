@@ -33,6 +33,7 @@ ServeStats OfflineEngine::serve(
     stats.failure = "invalid plan: " + err;
     return stats;
   }
+  if (prep_) prep_->prepare(plan_.layer_bits);
 
   sq::sim::PipelineOptions opts;
   opts.kernel = kernel_;
@@ -129,6 +130,7 @@ ServeStats OfflineEngine::serve_requests(
 RequestStats OfflineEngine::serve_continuous(
     const std::vector<sq::workload::TimedRequest>& arrivals,
     const ContinuousOptions& opts) const {
+  if (prep_) prep_->prepare(plan_.layer_bits);
   RequestScheduler sched(cluster_, model_, plan_, backend_efficiency(), kernel_,
                          memoize_);
   sched.set_observe(observe_);

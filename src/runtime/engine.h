@@ -10,12 +10,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "hw/cluster.h"
 #include "model/llm.h"
 #include "runtime/request_scheduler.h"
+#include "runtime/weight_prep.h"
 #include "sim/pipeline.h"
 #include "sim/plan.h"
 #include "workload/profile.h"
@@ -80,6 +82,15 @@ class OfflineEngine {
   void set_observe(bool on) { observe_ = on; }
   bool observe() const { return observe_; }
 
+  /// Attach a weight-preparation hook: when set, serve()/serve_continuous()
+  /// first quantize the plan's per-layer bitwidths into the process-wide
+  /// QuantCache (parallel fan-out, deduplicated across engines).  Purely a
+  /// warm-up — serving results are bit-identical with or without it.
+  void set_weight_prep(std::shared_ptr<const WeightPrep> prep) {
+    prep_ = std::move(prep);
+  }
+  const std::shared_ptr<const WeightPrep>& weight_prep() const { return prep_; }
+
   /// The bound plan.
   const sq::sim::ExecutionPlan& plan() const { return plan_; }
 
@@ -94,6 +105,7 @@ class OfflineEngine {
   sq::sim::KernelModelOptions kernel_;
   bool memoize_;
   bool observe_ = false;
+  std::shared_ptr<const WeightPrep> prep_;  ///< Optional; see set_weight_prep.
 };
 
 }  // namespace sq::runtime

@@ -324,8 +324,9 @@ FleetStats FleetEngine::serve(const std::vector<FleetJob>& jobs,
         ropts.max_replan_attempts = opts.max_replan_attempts;
         ropts.replan_penalty_s = opts.replan_penalty_s;
 
-        const FaultTolerantEngine eng(st.cluster, model_, st.plan, backend_,
-                                      kernel_, memoize_);
+        FaultTolerantEngine eng(st.cluster, model_, st.plan, backend_,
+                                kernel_, memoize_);
+        if (prep_) eng.set_weight_prep(prep_);
         JobOutcome& out = stats.jobs[j];
         out.group = static_cast<int>(g);
         out.start_s = st.elapsed_us * 1e-6;

@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -178,6 +179,15 @@ class FleetEngine {
   void set_observe(bool on) { observe_ = on; }
   bool observe() const { return observe_; }
 
+  /// Attach a weight-preparation hook, propagated to every per-group
+  /// FaultTolerantEngine.  Replica groups serving the same plan share the
+  /// process-wide QuantCache, so each distinct (weights, bits) pair is
+  /// quantized once fleet-wide regardless of replica count.
+  void set_weight_prep(std::shared_ptr<const WeightPrep> prep) {
+    prep_ = std::move(prep);
+  }
+  const std::shared_ptr<const WeightPrep>& weight_prep() const { return prep_; }
+
   const std::vector<ReplicaGroup>& groups() const { return groups_; }
 
  private:
@@ -187,6 +197,7 @@ class FleetEngine {
   sq::sim::KernelModelOptions kernel_;
   bool memoize_;
   bool observe_ = false;
+  std::shared_ptr<const WeightPrep> prep_;  ///< Optional; see setter.
 };
 
 }  // namespace sq::runtime

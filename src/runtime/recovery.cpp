@@ -48,6 +48,7 @@ RecoveryStats FaultTolerantEngine::serve(
     stats.serve.failure = "invalid plan: " + err;
     return stats;
   }
+  if (prep_) prep_->prepare(plan_.layer_bits);
 
   sq::sim::PipelineOptions popts;
   popts.kernel = kernel_;
@@ -123,11 +124,15 @@ RecoveryStats FaultTolerantEngine::serve(
     ++stats.repairs_succeeded;
     ++stats.final_generation;
     active_cluster = deg.cluster;
+    const auto old_bits = active_plan.layer_bits;
     active_plan = std::move(outcome.plan);
     active_plan.repair_generation = stats.final_generation;
     active_plan.excluded_devices = failed;
     std::sort(active_plan.excluded_devices.begin(),
               active_plan.excluded_devices.end());
+    // Incremental re-preparation: only layers whose bit assignment changed
+    // in the repaired plan are re-quantized; the rest hit the QuantCache.
+    if (prep_) prep_->reprepare(old_bits, active_plan.layer_bits);
     device_map = deg.to_original;
 
     // Drop windows the degraded cluster already accounts for: failures of
@@ -328,6 +333,7 @@ RequestStats FaultTolerantEngine::serve_continuous(
     total.failure = "invalid plan: " + err;
     return total;
   }
+  if (prep_) prep_->prepare(plan_.layer_bits);
   total.requests.resize(arrivals.size());
   for (std::size_t i = 0; i < arrivals.size(); ++i) {
     total.requests[i].id = i;
@@ -387,11 +393,14 @@ RequestStats FaultTolerantEngine::serve_continuous(
     ++total.repairs_succeeded;
     ++total.final_generation;
     active_cluster = deg.cluster;
+    const auto old_bits = active_plan.layer_bits;
     active_plan = std::move(outcome.plan);
     active_plan.repair_generation = total.final_generation;
     active_plan.excluded_devices = failed;
     std::sort(active_plan.excluded_devices.begin(),
               active_plan.excluded_devices.end());
+    // Changed-bits-only re-preparation (see the batch-mode repair above).
+    if (prep_) prep_->reprepare(old_bits, active_plan.layer_bits);
     device_map = deg.to_original;
 
     repaired_schedule.events.clear();

@@ -35,6 +35,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -167,6 +168,15 @@ class FaultTolerantEngine {
   void set_observe(bool on) { observe_ = on; }
   bool observe() const { return observe_; }
 
+  /// Attach a weight-preparation hook (see OfflineEngine::set_weight_prep).
+  /// serve()/serve_continuous() prepare the bound plan's bitwidths up
+  /// front; after a successful plan repair, only layers whose assigned
+  /// bits CHANGED are re-quantized — unchanged layers hit the QuantCache.
+  void set_weight_prep(std::shared_ptr<const WeightPrep> prep) {
+    prep_ = std::move(prep);
+  }
+  const std::shared_ptr<const WeightPrep>& weight_prep() const { return prep_; }
+
   double backend_efficiency() const;
 
  private:
@@ -177,6 +187,7 @@ class FaultTolerantEngine {
   sq::sim::KernelModelOptions kernel_;
   bool memoize_;
   bool observe_ = false;
+  std::shared_ptr<const WeightPrep> prep_;  ///< Optional; see setter.
 };
 
 }  // namespace sq::runtime

@@ -1,7 +1,11 @@
 // Tests for the GPTQ error-feedback quantizer.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "quant/gptq.h"
+#include "quant/qkernels.h"
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
 
 namespace sq::quant {
@@ -83,6 +87,68 @@ TEST_F(GptqFixture, Deterministic) {
   const auto b = gptq_quantize(w_, x_, o);
   EXPECT_EQ(a.output_mse, b.output_mse);
   EXPECT_LT(sq::tensor::mse(a.dequantized, b.dequantized), 1e-15);
+}
+
+// Bit-identity of the blocked lazy-update sweep against the frozen
+// column-wise reference.  Suite name carries "Quant" so the TSan CI leg's
+// focused filter picks these up (the block-end pass is threaded).
+class GptqQuantBlocked : public GptqFixture {
+ protected:
+  static bool bytes_equal(const Tensor& a, const Tensor& b) {
+    return a.rows() == b.rows() && a.cols() == b.cols() &&
+           std::memcmp(a.data().data(), b.data().data(),
+                       a.data().size() * sizeof(float)) == 0;
+  }
+};
+
+TEST_F(GptqQuantBlocked, BitIdenticalToReferenceAcrossBlockSizes) {
+  GptqOptions o;
+  const auto ref = gptq_quantize_reference(w_, x_, o);
+  for (const std::size_t blk : {1u, 7u, 32u, 128u, 1000u}) {
+    o.obq_block = blk;
+    const auto got = gptq_quantize(w_, x_, o);
+    EXPECT_TRUE(bytes_equal(got.dequantized, ref.dequantized)) << "blk=" << blk;
+    EXPECT_EQ(got.weight_mse, ref.weight_mse) << "blk=" << blk;
+    EXPECT_EQ(got.output_mse, ref.output_mse) << "blk=" << blk;
+  }
+}
+
+TEST_F(GptqQuantBlocked, BitIdenticalAcrossThreadCounts) {
+  GptqOptions o;
+  o.obq_block = 16;
+  const auto ref = gptq_quantize_reference(w_, x_, o);
+  for (const int threads : {1, 2, 4, 8}) {
+    sq::tensor::set_kernel_threads(threads);
+    const auto got = gptq_quantize(w_, x_, o);
+    EXPECT_TRUE(bytes_equal(got.dequantized, ref.dequantized))
+        << "threads=" << threads;
+  }
+  sq::tensor::set_kernel_threads(0);  // restore SQ_THREADS/default resolution
+}
+
+TEST_F(GptqQuantBlocked, BitIdenticalAcrossIsaLevels) {
+  GptqOptions o;
+  const auto ref = gptq_quantize_reference(w_, x_, o);
+  for (const char* isa : {"base", "avx2", "avx512"}) {
+    if (!sq::quant::set_qkernel_isa(isa)) continue;  // CPU can't run it
+    const auto got = gptq_quantize(w_, x_, o);
+    EXPECT_TRUE(bytes_equal(got.dequantized, ref.dequantized)) << isa;
+  }
+  sq::quant::set_qkernel_isa("auto");
+}
+
+TEST_F(GptqQuantBlocked, RtnMatchesReferenceRowQuantizer) {
+  // rtn_quantize runs the hoisted fused row path; the reference fallback
+  // (empty calibration) runs the scalar per-call-scan path.
+  GptqOptions o;
+  const Tensor empty;
+  for (const std::size_t group : {1u, 5u, 64u, 0u}) {
+    o.group_size = group;
+    const auto fast = rtn_quantize(w_, empty, o);
+    const auto ref = gptq_quantize_reference(w_, empty, o);
+    EXPECT_TRUE(bytes_equal(fast.dequantized, ref.dequantized))
+        << "group=" << group;
+  }
 }
 
 TEST_F(GptqFixture, CorrelatedInputsAmplifyGptqAdvantage) {

@@ -1,0 +1,238 @@
+// Byte-equality tests for the ISA-dispatched quantize/dequantize kernels
+// against the scalar reference loops — the contract that lets every
+// caller use the fast paths without auditing float behavior.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "quant/qkernels.h"
+#include "quant/qtensor.h"
+#include "quant/quantizer.h"
+#include "tensor/rng.h"
+
+namespace sq::quant {
+namespace {
+
+using sq::hw::Bitwidth;
+
+/// ISA levels this machine can actually run (always includes "base").
+std::vector<const char*> available_isas() {
+  std::vector<const char*> isas{"base"};
+  for (const char* name : {"avx2", "avx512"}) {
+    if (set_qkernel_isa(name)) isas.push_back(name);
+  }
+  set_qkernel_isa("auto");
+  return isas;
+}
+
+struct IsaGuard {
+  ~IsaGuard() { set_qkernel_isa("auto"); }
+};
+
+std::vector<float> random_values(std::size_t n, std::uint64_t seed) {
+  sq::tensor::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal()) * 0.1f;
+  return v;
+}
+
+template <typename T>
+bool bytes_equal(const std::vector<T>& a, const std::vector<T>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0;
+}
+
+TEST(QuantKernels, ForcingUnknownOrUnsupportedIsaFails) {
+  IsaGuard guard;
+  EXPECT_FALSE(set_qkernel_isa("neon"));
+  EXPECT_TRUE(set_qkernel_isa("base"));
+  EXPECT_STREQ(qkernel_isa(), "base");
+  EXPECT_TRUE(set_qkernel_isa("auto"));
+}
+
+TEST(QuantKernels, MinmaxMatchesMinmaxElementAllIsas) {
+  IsaGuard guard;
+  // Sizes straddle the 8/16-lane boundaries to exercise the vector tails.
+  for (const std::size_t n : {1u, 3u, 7u, 8u, 15u, 16u, 17u, 64u, 257u}) {
+    const std::vector<float> v = random_values(n, 1000 + n);
+    const auto [mn_it, mx_it] = std::minmax_element(v.begin(), v.end());
+    const float ref_mn = *mn_it, ref_mx = *mx_it;
+    for (const char* isa : available_isas()) {
+      ASSERT_TRUE(set_qkernel_isa(isa));
+      float mn = 0.0f, mx = 0.0f;
+      minmax(v, &mn, &mx);
+      EXPECT_EQ(std::memcmp(&mn, &ref_mn, 4), 0) << isa << " n=" << n;
+      EXPECT_EQ(std::memcmp(&mx, &ref_mx, 4), 0) << isa << " n=" << n;
+    }
+  }
+}
+
+TEST(QuantKernels, MinmaxPreservesSignedZeroScanOrder) {
+  IsaGuard guard;
+  // minmax_element keeps the FIRST minimum and LAST maximum; when the
+  // extremum is 0.0 that pins which zero's sign bit survives.  The vector
+  // paths must resolve ties the same way — the sign of `zero` feeds the
+  // asymmetric dequantization of code 0.
+  const std::vector<std::vector<float>> cases = {
+      {-0.0f, 0.0f, 1.0f},
+      {0.0f, -0.0f, 1.0f},
+      {-1.0f, 0.0f, -0.0f},
+      {-1.0f, -0.0f, 0.0f},
+      {0.0f, 0.5f, -0.0f, 0.25f, 0.0f, 1.0f, -0.0f, 0.75f, 0.5f},  // > 8 lanes
+      std::vector<float>(40, -0.0f),
+  };
+  for (const auto& v : cases) {
+    const auto [mn_it, mx_it] = std::minmax_element(v.begin(), v.end());
+    const float ref_mn = *mn_it, ref_mx = *mx_it;
+    for (const char* isa : available_isas()) {
+      ASSERT_TRUE(set_qkernel_isa(isa));
+      float mn = 0.0f, mx = 0.0f;
+      minmax(v, &mn, &mx);
+      EXPECT_EQ(std::memcmp(&mn, &ref_mn, 4), 0) << isa;
+      EXPECT_EQ(std::memcmp(&mx, &ref_mx, 4), 0) << isa;
+    }
+  }
+}
+
+TEST(QuantKernels, GroupMinmaxMatchesPerGroupScan) {
+  IsaGuard guard;
+  const std::vector<float> v = random_values(203, 7);  // short last group
+  for (const std::size_t g : {1u, 5u, 16u, 64u, 203u, 500u}) {
+    const std::size_t n_groups = (v.size() + g - 1) / g;
+    std::vector<float> ref_mn(n_groups), ref_mx(n_groups);
+    for (std::size_t gi = 0; gi < n_groups; ++gi) {
+      const std::size_t begin = gi * g;
+      const std::size_t len = std::min(g, v.size() - begin);
+      const auto [mn_it, mx_it] =
+          std::minmax_element(v.begin() + begin, v.begin() + begin + len);
+      ref_mn[gi] = *mn_it;
+      ref_mx[gi] = *mx_it;
+    }
+    for (const char* isa : available_isas()) {
+      ASSERT_TRUE(set_qkernel_isa(isa));
+      std::vector<float> mn(n_groups), mx(n_groups);
+      group_minmax(v, g, mn, mx);
+      EXPECT_TRUE(bytes_equal(mn, ref_mn)) << isa << " g=" << g;
+      EXPECT_TRUE(bytes_equal(mx, ref_mx)) << isa << " g=" << g;
+    }
+  }
+}
+
+TEST(QuantKernels, QuantizeDequantizeMatchReferenceAllIsas) {
+  IsaGuard guard;
+  for (const auto bw : {Bitwidth::kInt3, Bitwidth::kInt4, Bitwidth::kInt8}) {
+    for (const auto scheme : {Scheme::kSymmetric, Scheme::kAsymmetric}) {
+      for (const std::size_t n : {1u, 9u, 16u, 33u, 250u}) {
+        const std::vector<float> v =
+            random_values(n, 31 * n + static_cast<std::uint64_t>(sq::hw::bits(bw)));
+        const QuantParams p = compute_params(v, bw, scheme);
+        std::vector<std::int32_t> ref_codes(n);
+        quantize_reference(v, p, bw, scheme, ref_codes);
+        std::vector<float> ref_deq(n);
+        dequantize_reference(ref_codes, p, ref_deq);
+        const auto [lo, hi] = code_range(bw, scheme);
+        for (const char* isa : available_isas()) {
+          ASSERT_TRUE(set_qkernel_isa(isa));
+          std::vector<std::int32_t> codes(n);
+          quantize_codes(v, p, lo, hi, codes);
+          EXPECT_TRUE(bytes_equal(codes, ref_codes)) << isa << " n=" << n;
+          std::vector<float> deq(n);
+          dequantize_codes(codes, p, deq);
+          EXPECT_TRUE(bytes_equal(deq, ref_deq)) << isa << " n=" << n;
+          std::vector<float> fused(n);
+          quantize_dequant(v, p, lo, hi, fused);
+          EXPECT_TRUE(bytes_equal(fused, ref_deq)) << isa << " n=" << n;
+        }
+      }
+    }
+  }
+}
+
+TEST(QuantKernels, PublicQuantizeRoutesThroughKernelsBitIdentically) {
+  IsaGuard guard;
+  const std::vector<float> v = random_values(129, 99);
+  const QuantParams p = compute_params(v, Bitwidth::kInt4, Scheme::kAsymmetric);
+  std::vector<std::int32_t> ref(v.size());
+  quantize_reference(v, p, Bitwidth::kInt4, Scheme::kAsymmetric, ref);
+  for (const char* isa : available_isas()) {
+    ASSERT_TRUE(set_qkernel_isa(isa));
+    std::vector<std::int32_t> got(v.size());
+    quantize(v, p, Bitwidth::kInt4, Scheme::kAsymmetric, Rounding::kDeterministic,
+             nullptr, got);
+    EXPECT_TRUE(bytes_equal(got, ref)) << isa;
+  }
+}
+
+TEST(QuantKernels, DegenerateGroupsAndClampEdges) {
+  IsaGuard guard;
+  // Constant group (span 0 -> scale 1), huge outlier (clamps at both code
+  // ends), all-zero input.
+  const std::vector<std::vector<float>> cases = {
+      std::vector<float>(20, 0.125f),
+      {1e30f, -1e30f, 0.5f, -0.5f, 1e30f, -1e30f, 0.1f, -0.1f, 0.0f},
+      std::vector<float>(17, 0.0f),
+  };
+  for (const auto& v : cases) {
+    for (const auto scheme : {Scheme::kSymmetric, Scheme::kAsymmetric}) {
+      const QuantParams p = compute_params(v, Bitwidth::kInt4, scheme);
+      std::vector<std::int32_t> ref(v.size());
+      quantize_reference(v, p, Bitwidth::kInt4, scheme, ref);
+      std::vector<float> ref_deq(v.size());
+      dequantize_reference(ref, p, ref_deq);
+      const auto [lo, hi] = code_range(Bitwidth::kInt4, scheme);
+      for (const char* isa : available_isas()) {
+        ASSERT_TRUE(set_qkernel_isa(isa));
+        std::vector<std::int32_t> codes(v.size());
+        quantize_codes(v, p, lo, hi, codes);
+        EXPECT_TRUE(bytes_equal(codes, ref)) << isa;
+        std::vector<float> fused(v.size());
+        quantize_dequant(v, p, lo, hi, fused);
+        EXPECT_TRUE(bytes_equal(fused, ref_deq)) << isa;
+      }
+    }
+  }
+}
+
+TEST(QuantKernels, QTensorHoistedPathMatchesLegacyGroupLoop) {
+  IsaGuard guard;
+  sq::tensor::Rng rng(5);
+  sq::tensor::Tensor w(24, 70);
+  w.fill_normal(rng, 0.0f, 0.1f);
+  const auto flat = w.data();
+  for (const std::size_t g : {1u, 7u, 64u, 0u}) {
+    // Hand-rolled legacy flat-group loop: per-group minmax scan, scalar
+    // reference quantize + dequantize (what QTensor's constructor did
+    // before the hoisted kernel path).
+    const std::size_t gs = g == 0 ? w.cols() : g;
+    std::vector<float> ref(flat.size());
+    std::vector<std::int32_t> codes;
+    for (std::size_t begin = 0; begin < flat.size(); begin += gs) {
+      const std::size_t len = std::min(gs, flat.size() - begin);
+      const auto chunk = flat.subspan(begin, len);
+      const auto [mn_it, mx_it] = std::minmax_element(chunk.begin(), chunk.end());
+      const QuantParams p =
+          params_from_range(*mn_it, *mx_it, Bitwidth::kInt4, Scheme::kAsymmetric);
+      codes.resize(len);
+      quantize_reference(chunk, p, Bitwidth::kInt4, Scheme::kAsymmetric, codes);
+      dequantize_reference(codes, p,
+                           std::span<float>(ref).subspan(begin, len));
+    }
+    for (const char* isa : available_isas()) {
+      ASSERT_TRUE(set_qkernel_isa(isa));
+      const QTensor fast(w, Bitwidth::kInt4, Scheme::kAsymmetric,
+                         Rounding::kDeterministic, g, nullptr,
+                         /*compute_mse=*/false);
+      const auto got = fast.dequantize();
+      ASSERT_EQ(got.data().size(), ref.size());
+      EXPECT_EQ(std::memcmp(got.data().data(), ref.data(),
+                            ref.size() * sizeof(float)),
+                0)
+          << isa << " g=" << g;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sq::quant

@@ -1,6 +1,8 @@
 // Tests for the group-quantized tensor storage format.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "quant/qtensor.h"
 #include "tensor/ops.h"
 
@@ -84,6 +86,87 @@ TEST(QTensor, StochasticRoundingNeedsRngAndWorks) {
                   &rng);
   EXPECT_GT(q.mse_vs_original(), 0.0);
   EXPECT_LT(q.mse_vs_original(), 1e-3);
+}
+
+// Groups are carved out of the flattened tensor, so the packing has three
+// edge regimes the fast paths must honor: a partial tail group when
+// group_size does not divide rows*cols, degenerate one-element groups, and
+// a single group swallowing the whole tensor.  storage_bytes() accounting
+// is pinned to its documented formula for each.
+
+TEST(QTensor, NonDividingGroupSizeQuantizesTheTail) {
+  // 3x7 = 21 values, groups of 5: four full groups plus a 1-element tail.
+  const Tensor w = random_matrix(3, 7, 10);
+  const QTensor q(w, Bitwidth::kInt4, Scheme::kAsymmetric,
+                  Rounding::kDeterministic, 5);
+  const Tensor deq = q.dequantize();
+  ASSERT_EQ(deq.rows(), 3u);
+  ASSERT_EQ(deq.cols(), 7u);
+  // The tail element forms a [v, v] group: asymmetric zero-point lands on
+  // v exactly, so the final element reconstructs losslessly.
+  EXPECT_EQ(deq.data()[20], w.data()[20]);
+  // MSE accounting covers the tail group too.
+  EXPECT_NEAR(q.mse_vs_original(), sq::tensor::mse(deq, w), 1e-10);
+  // ceil(21 * 4 bits / 8) code bytes + ceil(21/5)=5 groups * (scale+zero).
+  EXPECT_EQ(q.storage_bytes(), (21u * 4 + 7) / 8 + 5u * 4);
+}
+
+TEST(QTensor, OneElementGroupsReconstructAsymmetricExactly) {
+  const Tensor w = random_matrix(4, 9, 11);
+  const QTensor q(w, Bitwidth::kInt3, Scheme::kAsymmetric,
+                  Rounding::kDeterministic, 1);
+  // Every group has w_min == w_max: scale 0, zero-point = the value, code
+  // 0 — reconstruction is exact at ANY bitwidth, even 3-bit.
+  const Tensor deq = q.dequantize();
+  for (std::size_t i = 0; i < w.data().size(); ++i) {
+    EXPECT_EQ(deq.data()[i], w.data()[i]) << "element " << i;
+  }
+  EXPECT_EQ(q.mse_vs_original(), 0.0);
+  // Parameter overhead dominates: 36 groups * 4 bytes + ceil(36*3/8).
+  EXPECT_EQ(q.storage_bytes(), (36u * 3 + 7) / 8 + 36u * 4);
+
+  // Symmetric one-element groups keep the sign through |v|-scaling; the
+  // reconstruction is near-exact but not guaranteed bit-exact.
+  const QTensor qs(w, Bitwidth::kInt8, Scheme::kSymmetric,
+                   Rounding::kDeterministic, 1);
+  const Tensor deqs = qs.dequantize();
+  for (std::size_t i = 0; i < w.data().size(); ++i) {
+    EXPECT_NEAR(deqs.data()[i], w.data()[i], 1e-6) << "element " << i;
+  }
+}
+
+TEST(QTensor, GroupLargerThanTensorUsesOneGroup) {
+  const Tensor w = random_matrix(3, 7, 12);
+  const QTensor q(w, Bitwidth::kInt8, Scheme::kSymmetric,
+                  Rounding::kDeterministic, 1000);
+  // One group over all 21 values: one fp16 scale in the accounting.
+  EXPECT_EQ(q.storage_bytes(), 21u + 1u * 2);
+  EXPECT_NEAR(q.mse_vs_original(), sq::tensor::mse(q.dequantize(), w), 1e-10);
+}
+
+TEST(QTensor, GroupZeroMeansOneGroupPerRow) {
+  const Tensor w = random_matrix(5, 12, 13);
+  const QTensor per_row(w, Bitwidth::kInt4, Scheme::kSymmetric,
+                        Rounding::kDeterministic, 0);
+  const QTensor explicit_cols(w, Bitwidth::kInt4, Scheme::kSymmetric,
+                              Rounding::kDeterministic, 12);
+  // group_size=0 normalizes to cols: identical packing and accounting.
+  EXPECT_EQ(per_row.storage_bytes(), explicit_cols.storage_bytes());
+  EXPECT_EQ(per_row.storage_bytes(), (60u * 4 + 7) / 8 + 5u * 2);
+  const Tensor a = per_row.dequantize();
+  const Tensor b = explicit_cols.dequantize();
+  EXPECT_EQ(0, std::memcmp(a.data().data(), b.data().data(),
+                           a.data().size() * sizeof(float)));
+}
+
+TEST(QTensor, AsymmetricStorageChargesZeroPointPerGroup) {
+  const Tensor w = random_matrix(8, 16, 14);
+  const auto bytes_of = [&](Scheme s) {
+    return QTensor(w, Bitwidth::kInt4, s, Rounding::kDeterministic, 32)
+        .storage_bytes();
+  };
+  // Same codes footprint; asymmetric adds one fp16 zero per group (4 groups).
+  EXPECT_EQ(bytes_of(Scheme::kAsymmetric), bytes_of(Scheme::kSymmetric) + 4u * 2);
 }
 
 }  // namespace

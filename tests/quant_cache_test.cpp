@@ -1,0 +1,253 @@
+// Tests for the content-addressed quantized-layer cache and the runtime
+// WeightPrep hook built on it: hit/miss semantics, key separation per
+// quantization knob, bit-identity of cached results against direct QTensor
+// construction (deterministic and stochastic), whole-model fan-out stats,
+// concurrent access (TSan coverage), and changed-bits-only re-preparation
+// after plan repair.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "quant/quant_cache.h"
+#include "quant/qtensor.h"
+#include "runtime/weight_prep.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace sq::quant {
+namespace {
+
+using sq::hw::Bitwidth;
+using sq::tensor::Tensor;
+
+Tensor random_weights(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  sq::tensor::Rng rng(seed);
+  Tensor t(rows, cols);
+  for (auto& v : t.data()) v = static_cast<float>(rng.normal()) * 0.1f;
+  return t;
+}
+
+bool same_bits(const Tensor& a, const Tensor& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data().data(), b.data().data(),
+                     a.data().size() * sizeof(float)) == 0;
+}
+
+TEST(QuantCache, MissThenHitReturnsSharedTensor) {
+  QuantCache cache;
+  const Tensor w = random_weights(8, 32, 1);
+
+  bool computed = false;
+  const auto first = cache.get_or_quantize(w, Bitwidth::kInt4,
+                                           Scheme::kSymmetric,
+                                           Rounding::kDeterministic, 16,
+                                           /*seed=*/0, &computed);
+  ASSERT_NE(first, nullptr);
+  EXPECT_TRUE(computed);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  const auto second = cache.get_or_quantize(w, Bitwidth::kInt4,
+                                            Scheme::kSymmetric,
+                                            Rounding::kDeterministic, 16,
+                                            /*seed=*/0, &computed);
+  EXPECT_FALSE(computed);
+  EXPECT_EQ(second.get(), first.get());  // Same cached object, not a copy.
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Identical content in a distinct allocation also hits (content-addressed).
+  const Tensor copy(w.rows(), w.cols(), w.data());
+  const auto third = cache.get_or_quantize(copy, Bitwidth::kInt4,
+                                           Scheme::kSymmetric,
+                                           Rounding::kDeterministic, 16);
+  EXPECT_EQ(third.get(), first.get());
+  EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(QuantCache, EveryKnobSeparatesKeys) {
+  QuantCache cache;
+  const Tensor w = random_weights(4, 64, 2);
+  const Tensor w2 = random_weights(4, 64, 3);
+
+  // Baseline entry, then one variation per knob: each must miss.
+  cache.get_or_quantize(w, Bitwidth::kInt4, Scheme::kSymmetric,
+                        Rounding::kDeterministic, 16);
+  cache.get_or_quantize(w2, Bitwidth::kInt4, Scheme::kSymmetric,
+                        Rounding::kDeterministic, 16);  // weights
+  cache.get_or_quantize(w, Bitwidth::kInt8, Scheme::kSymmetric,
+                        Rounding::kDeterministic, 16);  // bits
+  cache.get_or_quantize(w, Bitwidth::kInt4, Scheme::kAsymmetric,
+                        Rounding::kDeterministic, 16);  // scheme
+  cache.get_or_quantize(w, Bitwidth::kInt4, Scheme::kSymmetric,
+                        Rounding::kStochastic, 16, 7);  // rounding
+  cache.get_or_quantize(w, Bitwidth::kInt4, Scheme::kSymmetric,
+                        Rounding::kDeterministic, 32);  // group size
+  cache.get_or_quantize(w, Bitwidth::kInt4, Scheme::kSymmetric,
+                        Rounding::kStochastic, 16, 8);  // stochastic seed
+  EXPECT_EQ(cache.size(), 7u);
+  EXPECT_EQ(cache.hits(), 0u);
+
+  // Deterministic rounding ignores the seed: different seeds, same entry.
+  bool computed = true;
+  cache.get_or_quantize(w, Bitwidth::kInt4, Scheme::kSymmetric,
+                        Rounding::kDeterministic, 16, /*seed=*/99, &computed);
+  EXPECT_FALSE(computed);
+}
+
+TEST(QuantCache, CachedBitsMatchDirectConstruction) {
+  QuantCache cache;
+  const Tensor w = random_weights(16, 48, 4);
+
+  const auto det = cache.get_or_quantize(w, Bitwidth::kInt3,
+                                         Scheme::kAsymmetric,
+                                         Rounding::kDeterministic, 24);
+  const QTensor direct(w, Bitwidth::kInt3, Scheme::kAsymmetric,
+                       Rounding::kDeterministic, 24);
+  EXPECT_TRUE(same_bits(det->dequantize(), direct.dequantize()));
+  EXPECT_EQ(det->storage_bytes(), direct.storage_bytes());
+
+  // Stochastic rounding: the cache recreates the rng stream from the seed,
+  // so the cached tensor equals a fresh QTensor fed by Rng(seed).
+  const std::uint64_t seed = 1234;
+  const auto sto = cache.get_or_quantize(w, Bitwidth::kInt4,
+                                         Scheme::kSymmetric,
+                                         Rounding::kStochastic, 16, seed);
+  sq::tensor::Rng rng(seed);
+  const QTensor direct_sto(w, Bitwidth::kInt4, Scheme::kSymmetric,
+                           Rounding::kStochastic, 16, &rng);
+  EXPECT_TRUE(same_bits(sto->dequantize(), direct_sto.dequantize()));
+}
+
+TEST(QuantCache, QuantizeModelFansOutAndReuses) {
+  QuantCache cache;
+  std::vector<Tensor> weights;
+  for (std::size_t l = 0; l < 6; ++l) {
+    weights.push_back(random_weights(8, 40, 100 + l));
+  }
+  std::vector<QuantJob> jobs;
+  for (const auto& w : weights) {
+    QuantJob job;
+    job.weights = &w;
+    job.bits = Bitwidth::kInt4;
+    job.group_size = 20;
+    jobs.push_back(job);
+  }
+
+  const auto stats = cache.quantize_model(jobs);
+  ASSERT_EQ(stats.tensors.size(), jobs.size());
+  EXPECT_EQ(stats.layers_quantized, jobs.size());
+  EXPECT_EQ(stats.layers_reused, 0u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_NE(stats.tensors[i], nullptr);
+    const QTensor direct(weights[i], Bitwidth::kInt4, Scheme::kSymmetric,
+                         Rounding::kDeterministic, 20);
+    EXPECT_TRUE(same_bits(stats.tensors[i]->dequantize(), direct.dequantize()));
+  }
+
+  const auto again = cache.quantize_model(jobs);
+  EXPECT_EQ(again.layers_quantized, 0u);
+  EXPECT_EQ(again.layers_reused, jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(again.tensors[i].get(), stats.tensors[i].get());
+  }
+}
+
+TEST(QuantCache, ConcurrentAccessYieldsOneTensorPerKey) {
+  QuantCache cache;
+  const std::size_t kKeys = 4;
+  std::vector<Tensor> weights;
+  for (std::size_t k = 0; k < kKeys; ++k) {
+    weights.push_back(random_weights(8, 32, 200 + k));
+  }
+
+  // Hammer the same handful of keys from many threads; every thread must
+  // observe the same cached object per key (first insert wins).
+  const std::size_t kThreads = 8;
+  std::vector<std::vector<std::shared_ptr<const QTensor>>> seen(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int rep = 0; rep < 8; ++rep) {
+        for (std::size_t k = 0; k < kKeys; ++k) {
+          seen[t].push_back(cache.get_or_quantize(
+              weights[k], Bitwidth::kInt4, Scheme::kSymmetric,
+              Rounding::kDeterministic, 16));
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(cache.size(), kKeys);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    for (std::size_t i = 0; i < seen[t].size(); ++i) {
+      EXPECT_EQ(seen[t][i].get(), seen[0][i % kKeys].get());
+    }
+  }
+}
+
+TEST(QuantWeightPrep, PrepareSkipsFp16AndNullLayers) {
+  QuantCache::global().clear();
+  std::vector<Tensor> weights;
+  for (std::size_t l = 0; l < 4; ++l) {
+    weights.push_back(random_weights(8, 32, 300 + l));
+  }
+  const sq::runtime::WeightPrep prep(
+      [&](int layer) -> const Tensor* {
+        if (layer == 2) return nullptr;  // Layer without real weights.
+        return &weights[static_cast<std::size_t>(layer)];
+      });
+
+  const std::vector<Bitwidth> bits{Bitwidth::kInt4, Bitwidth::kFp16,
+                                   Bitwidth::kInt8, Bitwidth::kInt4};
+  const auto stats = prep.prepare(bits);
+  EXPECT_EQ(stats.layers_total, 4u);
+  // Layer 1 is FP16 (nothing to pack) and layer 2 has no weights: only
+  // layers 0 and 3 quantize.
+  EXPECT_EQ(stats.layers_quantized, 2u);
+  EXPECT_EQ(stats.layers_reused, 0u);
+
+  const auto warm = prep.prepare(bits);
+  EXPECT_EQ(warm.layers_quantized, 0u);
+  EXPECT_EQ(warm.layers_reused, 2u);
+}
+
+TEST(QuantWeightPrep, ReprepareTouchesOnlyChangedBits) {
+  QuantCache::global().clear();
+  std::vector<Tensor> weights;
+  for (std::size_t l = 0; l < 5; ++l) {
+    weights.push_back(random_weights(8, 32, 400 + l));
+  }
+  const sq::runtime::WeightPrep prep(
+      [&](int layer) { return &weights[static_cast<std::size_t>(layer)]; });
+
+  const std::vector<Bitwidth> old_bits{Bitwidth::kInt4, Bitwidth::kInt4,
+                                       Bitwidth::kInt8, Bitwidth::kFp16,
+                                       Bitwidth::kInt4};
+  prep.prepare(old_bits);
+
+  // Plan repair changed layer 1 to 8-bit and layer 3 from FP16 to 4-bit;
+  // layer 4 changed to FP16 (drops out).  Unchanged layers are not even
+  // submitted, so the stats count only the two fresh quantizations.
+  const std::vector<Bitwidth> new_bits{Bitwidth::kInt4, Bitwidth::kInt8,
+                                       Bitwidth::kInt8, Bitwidth::kInt4,
+                                       Bitwidth::kFp16};
+  const auto stats = prep.reprepare(old_bits, new_bits);
+  EXPECT_EQ(stats.layers_quantized, 2u);
+  EXPECT_EQ(stats.layers_reused, 0u);
+
+  // Repairing back to the original assignment changes layers 1, 3 and 4
+  // again; layer 3 becomes FP16 (skipped) and layers 1 and 4 return to
+  // bitwidths already in the cache — nothing is re-quantized.
+  const auto back = prep.reprepare(new_bits, old_bits);
+  EXPECT_EQ(back.layers_quantized, 0u);
+  EXPECT_EQ(back.layers_reused, 2u);
+}
+
+}  // namespace
+}  // namespace sq::quant
