@@ -154,6 +154,20 @@ def main() -> int:
                      "fail:0@5.0"], 0, "continuous+faults") is None:
             errors += 1
 
+        # 6b. Elastic serving: membership timeline + live migration over
+        # the continuous scheduler, with the elastic.* metrics surface.
+        epath = tmp / "elastic_metrics.json"
+        if run(cli, [*BASE, "--serve", "--continuous", "--elastic",
+                     "price:T4=0.30@0,join:1xV100@2,leave:node1@4",
+                     "--migration", "migrate", "--metrics", str(epath)],
+               0, "serve+elastic") is None:
+            errors += 1
+        else:
+            errors += check_metrics_json(
+                epath, "serve+elastic",
+                want_counters=["elastic.events", "elastic.replans",
+                               "serve.request.completed"])
+
         # 7. Usage errors must exit 2 (not 0, not a crash).
         if run(cli, [*BASE, "--shards", "0"], 2, "bad --shards") is None:
             errors += 1
@@ -185,6 +199,15 @@ def main() -> int:
             "--arrivals without --continuous")
         errors += run_rejects(
             cli, [*BASE, "--continuous"], "--continuous without --serve")
+        errors += run_rejects(
+            cli, [*BASE, "--serve", "--continuous", "--elastic",
+                  "flip:2xT4@1"], "malformed --elastic")
+        errors += run_rejects(
+            cli, [*BASE, "--serve", "--elastic", "join:1xT4@1"],
+            "--elastic without --continuous")
+        errors += run_rejects(
+            cli, [*BASE, "--serve", "--continuous", "--migration", "teleport"],
+            "bad --migration")
 
     if errors:
         print(f"FAIL: {errors} CLI smoke error(s)", file=sys.stderr)

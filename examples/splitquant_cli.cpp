@@ -42,6 +42,22 @@
 //                       "random:<seed>:<n>" draws <n> seeded events instead.
 //   --no-repair         with --faults: disable plan repair (baseline; a
 //                       permanent failure loses the remaining workload)
+//   --elastic <spec>    serve under a dynamic membership timeline (requires
+//                       --serve --continuous, single shard): the elastic
+//                       engine re-plans on every membership change and
+//                       reports tokens-per-dollar next to tokens/s.  Spec
+//                       grammar (comma-separated, times in simulated
+//                       seconds):
+//                         join:<n>x<type>@<t>   n GPUs of <type> offered
+//                                               (T4|P100|V100|A100-40G)
+//                         leave:node<k>@<t>     node k leaves gracefully
+//                         leave:<dev>@<t>       one device leaves
+//                         price:<type>=<p>@<t>  $/device-hour repriced
+//                       "random:<seed>:<n>" draws <n> seeded events instead.
+//                       Composes with --faults (failures restart in-flight
+//                       work; graceful leaves migrate it).
+//   --migration <p>     in-flight policy at an elastic plan switch:
+//                       auto|migrate|drain|restart (default auto)
 //   --shards <K>        partition the cluster into K disjoint replica
 //                       groups (sharded planner, src/core/sharding.h) and
 //                       plan each; with --serve the jobs run through the
@@ -72,6 +88,8 @@
 #include "core/planner.h"
 #include "core/repair.h"
 #include "core/sharding.h"
+#include "elastic/elastic_engine.h"
+#include "elastic/membership.h"
 #include "runtime/fleet.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -105,6 +123,8 @@ struct Args {
   bool list_models = false;
   std::string faults;
   bool no_repair = false;
+  std::string elastic;
+  std::string migration = "auto";
   int shards = 1;
   std::string jobs;
   std::string save_plan;
@@ -137,6 +157,8 @@ bool parse(int argc, char** argv, Args* out) {
     else if (a == "--arrivals") out->arrivals = next("--arrivals");
     else if (a == "--faults") out->faults = next("--faults");
     else if (a == "--no-repair") out->no_repair = true;
+    else if (a == "--elastic") out->elastic = next("--elastic");
+    else if (a == "--migration") out->migration = next("--migration");
     else if (a == "--shards") out->shards = std::atoi(next("--shards"));
     else if (a == "--jobs") out->jobs = next("--jobs");
     else if (a == "--save-plan") out->save_plan = next("--save-plan");
@@ -177,6 +199,29 @@ int parse_faults(const std::string& spec, int device_count,
     return 2;
   }
   *out = fp.schedule;
+  return 0;
+}
+
+/// Parse --elastic into a membership timeline (0 = ok, 2 = bad spec).
+int parse_elastic(const std::string& spec,
+                  sq::elastic::MembershipTimeline* out) {
+  if (spec.rfind("random:", 0) == 0) {
+    unsigned long seed = 0, n = 4;
+    if (std::sscanf(spec.c_str(), "random:%lu:%lu", &seed, &n) < 1) {
+      std::fprintf(stderr,
+                   "bad --elastic random spec (want random:<seed>:<n>)\n");
+      return 2;
+    }
+    *out = sq::elastic::random_membership(seed, 120.0, static_cast<int>(n));
+    return 0;
+  }
+  const sq::elastic::MembershipParse mp =
+      sq::elastic::parse_membership_spec(spec);
+  if (!mp.ok) {
+    std::fprintf(stderr, "bad --elastic spec: %s\n", mp.error.c_str());
+    return 2;
+  }
+  *out = mp.timeline;
   return 0;
 }
 
@@ -380,6 +425,28 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--arrivals requires --continuous\n");
     return 2;
   }
+  if (!args.elastic.empty() && (!args.serve || !args.continuous)) {
+    std::fprintf(stderr, "--elastic requires --serve --continuous\n");
+    return 2;
+  }
+  if (!args.elastic.empty() && args.shards != 1) {
+    std::fprintf(stderr, "--elastic requires a single shard\n");
+    return 2;
+  }
+  elastic::MigrationPolicy migration = elastic::MigrationPolicy::kAuto;
+  if (!elastic::migration_policy_from_string(args.migration, &migration)) {
+    std::fprintf(stderr,
+                 "bad --migration '%s' (want auto|migrate|drain|restart)\n",
+                 args.migration.c_str());
+    return 2;
+  }
+  elastic::MembershipTimeline elastic_timeline;
+  if (!args.elastic.empty()) {
+    // Parse up front so a malformed spec fails fast, before planning.
+    if (const int rc = parse_elastic(args.elastic, &elastic_timeline)) {
+      return rc;
+    }
+  }
 
   if (args.list_models) {
     for (const auto id : model::all_models()) {
@@ -515,6 +582,89 @@ int main(int argc, char** argv) {
         workload::generate_arrivals(aspec, dataset_of(args.workload), 1234);
     std::printf("arrivals: %s (%llu requests)\n", aspec.to_spec().c_str(),
                 static_cast<unsigned long long>(arrivals.size()));
+
+    if (!args.elastic.empty()) {
+      // Elastic serving: membership timeline + price-aware autoscaling +
+      // live migration, layered over the same continuous scheduler.
+      const elastic::MembershipTimeline& timeline = elastic_timeline;
+      std::printf("elastic:  %s (migration %s)\n",
+                  timeline.empty() ? "(empty)" : timeline.to_spec().c_str(),
+                  elastic::to_string(migration));
+
+      sim::FaultSchedule schedule;
+      if (!args.faults.empty()) {
+        if (const int rc =
+                parse_faults(args.faults, cluster.device_count(), &schedule)) {
+          return rc;
+        }
+        std::printf("faults:   %s\n",
+                    schedule.empty() ? "(none)" : schedule.to_spec().c_str());
+      }
+
+      runtime::ReplicaGroup rg;
+      rg.cluster = cluster;
+      rg.plan = r.plan;
+      rg.predicted_tok_s = r.predicted_throughput;
+      elastic::ElasticFleetEngine engine(
+          m, {rg},
+          args.custom_backend ? runtime::Backend::kCustom
+                              : runtime::Backend::kVllmStyle);
+      engine.set_observe(!args.metrics.empty());
+
+      elastic::ElasticOptions eopts;
+      eopts.timeline = &timeline;
+      eopts.migration = migration;
+      eopts.replan = core::make_elastic_replanner(
+          m, latency, quality, profile.planning_batch(m), cfg);
+      eopts.fleet.num_threads = args.threads;
+      if (!schedule.empty()) eopts.fleet.faults = &schedule;
+      if (!args.faults.empty() && !args.no_repair) {
+        eopts.fleet.replan = core::make_replanner(
+            m, latency, quality, profile.planning_batch(m), cfg);
+      }
+
+      runtime::FleetJob job;
+      job.name = "job-0";
+      job.arrivals = arrivals;
+      const elastic::ElasticStats es = engine.serve({job}, eopts);
+      for (const auto& e : es.events) std::printf("event:    %s\n", e.c_str());
+      if (!es.feasible) {
+        std::printf("serve:    FAILED — %s\n", es.failure.c_str());
+        return 1;
+      }
+      const runtime::RequestStats& rs = es.fleet.jobs[0].continuous;
+      std::printf("serve:    %.1f tok/s goodput (%.0f tokens in %.1fs, "
+                  "%llu iterations)\n",
+                  rs.goodput_tok_s, rs.output_tokens, rs.total_seconds,
+                  static_cast<unsigned long long>(rs.iterations));
+      std::printf("requests: %llu/%llu completed, %llu lost, %llu preemptions, "
+                  "%llu blocked admissions\n",
+                  static_cast<unsigned long long>(rs.completed),
+                  static_cast<unsigned long long>(rs.submitted),
+                  static_cast<unsigned long long>(rs.lost),
+                  static_cast<unsigned long long>(rs.preemptions),
+                  static_cast<unsigned long long>(rs.admission_blocked));
+      std::printf("elastic:  %llu events; joins %llu/%llu accepted, "
+                  "%llu leaves, %llu repriced, %llu scale-downs; "
+                  "%llu replans\n",
+                  static_cast<unsigned long long>(es.events_applied),
+                  static_cast<unsigned long long>(es.joins_accepted),
+                  static_cast<unsigned long long>(es.joins_offered),
+                  static_cast<unsigned long long>(es.leaves),
+                  static_cast<unsigned long long>(es.price_events),
+                  static_cast<unsigned long long>(es.scale_downs),
+                  static_cast<unsigned long long>(es.replans));
+      std::printf("inflight: %llu migrated (%.1f MB KV in %.2fs), "
+                  "%llu drained, %llu restarted\n",
+                  static_cast<unsigned long long>(es.migrations),
+                  es.migrated_kv_bytes / 1e6, es.migration_s,
+                  static_cast<unsigned long long>(es.drains),
+                  static_cast<unsigned long long>(es.restarts));
+      std::printf("cost:     $%.4f over %.1f device-hours -> %.0f tokens/$\n",
+                  es.dollars, es.device_seconds / 3600.0,
+                  es.tokens_per_dollar);
+      return export_metrics(args);
+    }
 
     runtime::ContinuousOptions copts;
     copts.num_threads = args.threads;

@@ -20,6 +20,7 @@
 
 #include "core/planner.h"
 #include "cost/latency_model.h"
+#include "elastic/elastic_engine.h"
 #include "model/llm.h"
 #include "quality/quality_model.h"
 #include "runtime/recovery.h"
@@ -37,5 +38,16 @@ sq::runtime::Replanner make_replanner(const sq::model::LlmSpec& model,
                                       const sq::quality::QualityModel& quality,
                                       const sq::sim::BatchWorkload& workload,
                                       const PlannerConfig& cfg);
+
+/// Build an ElasticReplanner for membership changes: the same incremental
+/// planning + graceful-degradation ladder as make_replanner (memoized
+/// latency fits re-profile idempotently when joins introduce NEW device
+/// types), but it also surfaces the planner's throughput estimate — the
+/// autoscaler's accept/reject signal.  Lifetime contract matches
+/// make_replanner.
+sq::elastic::ElasticReplanner make_elastic_replanner(
+    const sq::model::LlmSpec& model, sq::cost::LatencyCostModel& latency,
+    const sq::quality::QualityModel& quality,
+    const sq::sim::BatchWorkload& workload, const PlannerConfig& cfg);
 
 }  // namespace sq::core

@@ -1,0 +1,34 @@
+#include "elastic/cost_model.h"
+
+namespace sq::elastic {
+
+namespace {
+constexpr std::size_t slot(sq::hw::GpuType t) {
+  return static_cast<std::size_t>(t);
+}
+}  // namespace
+
+CostModel::CostModel() {
+  per_hour_[slot(sq::hw::GpuType::kT4)] = 0.35;
+  per_hour_[slot(sq::hw::GpuType::kP100)] = 0.60;
+  per_hour_[slot(sq::hw::GpuType::kV100)] = 1.20;
+  per_hour_[slot(sq::hw::GpuType::kA100_40G)] = 2.00;
+}
+
+void CostModel::set_price(sq::hw::GpuType t, double per_hour) {
+  if (per_hour > 0.0) per_hour_[slot(t)] = per_hour;
+}
+
+double CostModel::price_per_hour(sq::hw::GpuType t) const {
+  return per_hour_[slot(t)];
+}
+
+double CostModel::cluster_rate_per_s(const sq::hw::Cluster& c) const {
+  double rate = 0.0;
+  for (int d = 0; d < c.device_count(); ++d) {
+    rate += price_per_hour(c.spec(d).type) / 3600.0;
+  }
+  return rate;
+}
+
+}  // namespace sq::elastic

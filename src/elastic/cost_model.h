@@ -1,0 +1,42 @@
+// Device-hour pricing: the dollars side of the tokens-per-dollar fleet
+// objective.
+//
+// Elastic serving holds capacity only while it pays for itself, so the
+// engine needs a price for every device it holds: the CostModel maps GPU
+// types to $/device-hour (defaults roughly shaped like public spot
+// prices, overridable per type and repriced mid-run by `price:` membership
+// events) and converts a cluster into a $/second burn rate.  The engine
+// charges that rate over every simulated serving segment and reports
+// tokens-per-dollar next to tokens-per-second.
+#pragma once
+
+#include "hw/cluster.h"
+#include "hw/gpu.h"
+
+namespace sq::elastic {
+
+class CostModel {
+ public:
+  /// Default prices: T4 $0.35/h, P100 $0.60/h, V100 $1.20/h,
+  /// A100-40G $2.00/h.
+  CostModel();
+
+  /// Override the $/device-hour of one type (a `price:` event applies
+  /// here).  Non-positive prices are ignored.
+  void set_price(sq::hw::GpuType t, double per_hour);
+
+  double price_per_hour(sq::hw::GpuType t) const;
+
+  /// Total burn rate of `c` in $/second (sum of device prices).
+  double cluster_rate_per_s(const sq::hw::Cluster& c) const;
+
+  /// Dollars charged for holding `c` for `seconds` of simulated time.
+  double charge(const sq::hw::Cluster& c, double seconds) const {
+    return cluster_rate_per_s(c) * (seconds > 0.0 ? seconds : 0.0);
+  }
+
+ private:
+  double per_hour_[4];
+};
+
+}  // namespace sq::elastic

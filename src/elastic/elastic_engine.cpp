@@ -1,0 +1,785 @@
+#include "elastic/elastic_engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <numeric>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "runtime/request_scheduler.h"
+#include "sim/faults.h"
+
+namespace sq::elastic {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Deterministic seconds rendering for the event log.
+std::string fmt_s(double us) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3fs", us * 1e-6);
+  return buf;
+}
+
+std::string fmt_pct(double frac) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.1f%%", frac * 100.0);
+  return buf;
+}
+
+/// Current flat index of base device `base`, -1 when not held.
+int flat_of_base(const std::vector<int>& to_base, int base) {
+  for (std::size_t i = 0; i < to_base.size(); ++i) {
+    if (to_base[i] == base) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+/// The serving state a membership change replaces atomically.
+struct MemberState {
+  sq::hw::Cluster cluster;
+  std::vector<int> to_base;  ///< Flat index -> stable base id.
+  sq::sim::ExecutionPlan plan;
+  double predicted_tok_s = 0.0;
+};
+
+/// Changes staged by event application, adopted after the in-flight
+/// settlement (drain needs the OLD state to finish on).
+struct PendingChange {
+  MemberState next;
+  bool changed = false;  ///< Membership (not just price) changed.
+  int switches = 0;      ///< Accepted plan switches (penalty per switch).
+};
+
+}  // namespace
+
+const char* to_string(MigrationPolicy p) {
+  switch (p) {
+    case MigrationPolicy::kAuto: return "auto";
+    case MigrationPolicy::kMigrate: return "migrate";
+    case MigrationPolicy::kDrain: return "drain";
+    case MigrationPolicy::kRestart: return "restart";
+  }
+  return "?";
+}
+
+bool migration_policy_from_string(const std::string& s, MigrationPolicy* out) {
+  if (s == "auto") *out = MigrationPolicy::kAuto;
+  else if (s == "migrate") *out = MigrationPolicy::kMigrate;
+  else if (s == "drain") *out = MigrationPolicy::kDrain;
+  else if (s == "restart") *out = MigrationPolicy::kRestart;
+  else return false;
+  return true;
+}
+
+ElasticFleetEngine::ElasticFleetEngine(sq::model::LlmSpec model,
+                                       std::vector<sq::runtime::ReplicaGroup> groups,
+                                       sq::runtime::Backend backend,
+                                       sq::sim::KernelModelOptions kernel,
+                                       bool memoize)
+    : model_(std::move(model)),
+      groups_(std::move(groups)),
+      backend_(backend),
+      kernel_(kernel),
+      memoize_(memoize) {}
+
+ElasticStats ElasticFleetEngine::serve(
+    const std::vector<sq::runtime::FleetJob>& jobs,
+    const ElasticOptions& opts) const {
+  ElasticStats out;
+
+  // ---- Empty timeline: exact FleetEngine delegation (byte-identity). ---
+  if (opts.timeline == nullptr || opts.timeline->empty()) {
+    sq::runtime::FleetEngine fe(model_, groups_, backend_, kernel_, memoize_);
+    fe.set_observe(observe_);
+    if (prep_) fe.set_weight_prep(prep_);
+    out.fleet = fe.serve(jobs, opts.fleet);
+    out.feasible = out.fleet.feasible;
+    out.failure = out.fleet.failure;
+    // The cost ledger still applies: the fleet held its devices for the
+    // whole makespan.
+    for (const auto& g : groups_) {
+      out.device_seconds += g.cluster.device_count() * out.fleet.makespan_s;
+      out.dollars += opts.cost.charge(g.cluster, out.fleet.makespan_s);
+    }
+    if (out.dollars > 0.0) {
+      out.tokens_per_dollar = out.fleet.output_tokens / out.dollars;
+    }
+    return out;
+  }
+
+  // ---- Structural checks for the elastic path. -------------------------
+  out.fleet.jobs.resize(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) out.fleet.jobs[j].job = jobs[j].name;
+  const auto structural_fail = [&](const std::string& why) {
+    out.feasible = false;
+    out.failure = why;
+    out.fleet.feasible = false;
+    out.fleet.failure = why;
+    return out;
+  };
+  if (groups_.size() != 1) {
+    return structural_fail("elastic serving requires exactly one replica "
+                           "group (got " + std::to_string(groups_.size()) + ")");
+  }
+  for (const auto& job : jobs) {
+    if (!job.batches.empty()) {
+      return structural_fail("elastic serving requires continuous jobs; job '" +
+                             job.name + "' has batches");
+    }
+  }
+  {
+    const std::string err = groups_[0].plan.validate(model_, groups_[0].cluster);
+    if (!err.empty()) return structural_fail("group 0 plan invalid: " + err);
+  }
+
+  const bool ob = observe_ && sq::obs::enabled();
+  const MembershipTimeline& timeline = *opts.timeline;
+  CostModel cost = opts.cost;
+
+  // ---- Elastic serving state. ------------------------------------------
+  MemberState ms;
+  ms.cluster = groups_[0].cluster;
+  ms.to_base = groups_[0].to_original;
+  if (ms.to_base.empty()) {
+    ms.to_base.resize(static_cast<std::size_t>(ms.cluster.device_count()));
+    std::iota(ms.to_base.begin(), ms.to_base.end(), 0);
+  }
+  ms.plan = groups_[0].plan;
+  ms.predicted_tok_s = groups_[0].predicted_tok_s;
+  // Joined devices get fresh base ids past every initial id, so fault
+  // schedules (which speak initial/base ids) can never hit them.
+  int next_base = 0;
+  for (const int b : ms.to_base) next_base = std::max(next_base, b + 1);
+  std::vector<std::vector<int>> join_stack;  ///< Base ids per accepted join.
+  int join_seq = 0;
+
+  const double eff =
+      backend_ == sq::runtime::Backend::kVllmStyle ? 1.0 : 0.72;
+  const sq::sim::KernelModel km(kernel_);
+  const sq::sim::FaultSchedule* fleet_faults = opts.fleet.faults;
+
+  double fc_us = 0.0;          ///< Fleet simulated clock.
+  double last_charge_us = 0.0;
+  double last_scale_us = -kInf;
+  std::size_t ev = 0;          ///< Timeline cursor.
+  std::string fatal;           ///< Capacity exhausted; set once.
+  std::vector<sq::obs::Span> migration_spans;
+
+  const auto charge_to = [&](double to_us) {
+    if (to_us <= last_charge_us) return;
+    const double dt = (to_us - last_charge_us) * 1e-6;
+    out.device_seconds += ms.cluster.device_count() * dt;
+    out.dollars += cost.charge(ms.cluster, dt);
+    last_charge_us = to_us;
+  };
+
+  // Graceful-degradation replan ladder (same escalation as fault repair).
+  const auto ladder = [&](const sq::hw::Cluster& c,
+                          ElasticReplanOutcome* r) -> bool {
+    if (!opts.replan) {
+      r->failure = "no elastic replanner configured";
+      return false;
+    }
+    for (int attempt = 0; attempt < std::max(1, opts.max_replan_attempts);
+         ++attempt) {
+      *r = opts.replan(c, attempt);
+      if (ob) {
+        sq::obs::counter("elastic.replan.attempts").add();
+        sq::obs::histogram("elastic.replan_wall_s",
+                           sq::obs::BucketLayout::kSeconds)
+            .observe(r->solve_seconds);
+      }
+      if (r->feasible) return true;
+    }
+    return false;
+  };
+
+  // ---- Membership event application (stages a PendingChange). ----------
+  const auto apply_due_events = [&](double now_us, std::uint64_t backlog,
+                                    PendingChange* p) {
+    p->next = ms;
+    p->changed = false;
+    p->switches = 0;
+    while (ev < timeline.events.size() && timeline.events[ev].at_us <= now_us) {
+      const MembershipEvent& e = timeline.events[ev];
+      ++ev;
+      ++out.events_applied;
+      const bool cooling =
+          (e.at_us - last_scale_us) < opts.autoscale.cooldown_s * 1e6;
+      if (e.kind == MemberEventKind::kJoin) {
+        ++out.joins_offered;
+        sq::hw::Node node;
+        node.name = "elastic-" + std::to_string(join_seq);
+        node.gpu_type = e.gpu;
+        node.gpu_count = e.count;
+        node.intra_gbps = 300.0;
+        const sq::hw::Cluster grown = sq::hw::grow_cluster(p->next.cluster, node);
+        ElasticReplanOutcome r;
+        const bool planned = ladder(grown, &r);
+        bool accept = false;
+        std::string reason;
+        if (!planned) {
+          reason = "no feasible plan: " + r.failure;
+        } else if (!opts.autoscale.enabled) {
+          accept = true;
+          reason = "autoscaler off";
+        } else if (backlog < opts.autoscale.join_backlog) {
+          reason = "backlog " + std::to_string(backlog) + " below threshold";
+        } else if (cooling) {
+          reason = "cooldown";
+        } else {
+          const double cur_rate = cost.cluster_rate_per_s(p->next.cluster);
+          const double new_rate = cost.cluster_rate_per_s(grown);
+          const double cur_tpd =
+              cur_rate > 0.0 ? p->next.predicted_tok_s / cur_rate : 0.0;
+          const double new_tpd =
+              new_rate > 0.0 ? r.predicted_tok_s / new_rate : 0.0;
+          if (cur_tpd > 0.0 &&
+              new_tpd >= cur_tpd * (1.0 + opts.autoscale.price_margin)) {
+            accept = true;
+            reason = "tokens/$ " + fmt_pct(new_tpd / cur_tpd - 1.0);
+          } else if (backlog >= opts.autoscale.pressure_backlog) {
+            accept = true;
+            reason = "backlog pressure (" + std::to_string(backlog) + ")";
+          } else {
+            reason = "tokens/$ gain below margin";
+          }
+        }
+        if (accept) {
+          ++out.joins_accepted;
+          std::vector<int> fresh;
+          for (int i = 0; i < e.count; ++i) fresh.push_back(next_base++);
+          p->next.cluster = grown;
+          p->next.to_base.insert(p->next.to_base.end(), fresh.begin(),
+                                 fresh.end());
+          p->next.plan = r.plan;
+          p->next.predicted_tok_s = r.predicted_tok_s;
+          p->changed = true;
+          ++p->switches;
+          join_stack.push_back(std::move(fresh));
+          ++join_seq;
+          if (opts.autoscale.enabled) last_scale_us = e.at_us;
+          out.events.push_back("[" + fmt_s(e.at_us) + "] join accepted: " +
+                               std::to_string(e.count) + "x" +
+                               sq::hw::to_string(e.gpu) + " (" + reason + ")");
+        } else {
+          ++out.joins_rejected;
+          out.events.push_back("[" + fmt_s(e.at_us) + "] join rejected: " +
+                               std::to_string(e.count) + "x" +
+                               sq::hw::to_string(e.gpu) + " (" + reason + ")");
+        }
+      } else if (e.kind == MemberEventKind::kLeave) {
+        ++out.leaves;
+        std::vector<int> excl;
+        if (e.whole_node) {
+          for (int d = 0; d < p->next.cluster.device_count(); ++d) {
+            if (p->next.cluster.device(d).node == e.index) excl.push_back(d);
+          }
+        } else if (e.index >= 0 && e.index < p->next.cluster.device_count()) {
+          excl.push_back(e.index);
+        }
+        if (excl.empty()) {
+          out.events.push_back("[" + fmt_s(e.at_us) + "] leave ignored: no " +
+                               (e.whole_node ? "node " : "device ") +
+                               std::to_string(e.index));
+          continue;
+        }
+        const sq::hw::DegradedCluster deg =
+            sq::hw::degrade_cluster(p->next.cluster, excl);
+        if (!deg.feasible) {
+          fatal = deg.failure;
+          out.events.push_back("[" + fmt_s(e.at_us) + "] leave: " + fatal);
+          return;
+        }
+        ElasticReplanOutcome r;
+        if (!ladder(deg.cluster, &r)) {
+          fatal = "no feasible plan after leave: " + r.failure;
+          out.events.push_back("[" + fmt_s(e.at_us) + "] " + fatal);
+          return;
+        }
+        std::vector<int> chained;
+        chained.reserve(deg.to_original.size());
+        for (const int i : deg.to_original) {
+          chained.push_back(p->next.to_base[static_cast<std::size_t>(i)]);
+        }
+        p->next.cluster = deg.cluster;
+        p->next.to_base = std::move(chained);
+        p->next.plan = r.plan;
+        p->next.predicted_tok_s = r.predicted_tok_s;
+        p->changed = true;
+        ++p->switches;
+        out.events.push_back("[" + fmt_s(e.at_us) + "] leave: " +
+                             std::to_string(excl.size()) + " device(s), now " +
+                             p->next.cluster.summary());
+      } else {  // kPrice
+        ++out.price_events;
+        cost.set_price(e.gpu, e.price);
+        out.events.push_back("[" + fmt_s(e.at_us) + "] price: " +
+                             std::string(sq::hw::to_string(e.gpu)) + " = $" +
+                             std::to_string(e.price) + "/h");
+        // Scale-to-price: release the most recent still-held join when
+        // tokens/$ improves by the margin under the new prices.
+        if (!opts.autoscale.enabled || cooling) continue;
+        while (!join_stack.empty()) {
+          std::vector<int> excl;
+          bool all_held = true;
+          for (const int b : join_stack.back()) {
+            const int f = flat_of_base(p->next.to_base, b);
+            if (f < 0) { all_held = false; break; }
+            excl.push_back(f);
+          }
+          if (!all_held) {
+            join_stack.pop_back();  // Already gone (left/failed); try next.
+            continue;
+          }
+          const sq::hw::DegradedCluster deg =
+              sq::hw::degrade_cluster(p->next.cluster, excl);
+          if (!deg.feasible) break;
+          ElasticReplanOutcome r;
+          if (!ladder(deg.cluster, &r)) break;
+          const double cur_rate = cost.cluster_rate_per_s(p->next.cluster);
+          const double shr_rate = cost.cluster_rate_per_s(deg.cluster);
+          const double cur_tpd =
+              cur_rate > 0.0 ? p->next.predicted_tok_s / cur_rate : 0.0;
+          const double shr_tpd =
+              shr_rate > 0.0 ? r.predicted_tok_s / shr_rate : 0.0;
+          if (cur_tpd <= 0.0 ||
+              shr_tpd < cur_tpd * (1.0 + opts.autoscale.price_margin)) {
+            break;
+          }
+          ++out.scale_downs;
+          std::vector<int> chained;
+          chained.reserve(deg.to_original.size());
+          for (const int i : deg.to_original) {
+            chained.push_back(p->next.to_base[static_cast<std::size_t>(i)]);
+          }
+          p->next.cluster = deg.cluster;
+          p->next.to_base = std::move(chained);
+          p->next.plan = r.plan;
+          p->next.predicted_tok_s = r.predicted_tok_s;
+          p->changed = true;
+          ++p->switches;
+          join_stack.pop_back();
+          last_scale_us = e.at_us;
+          out.events.push_back("[" + fmt_s(e.at_us) +
+                               "] scale-down: released a join, tokens/$ " +
+                               fmt_pct(shr_tpd / cur_tpd - 1.0) + ", now " +
+                               p->next.cluster.summary());
+          break;  // one release per price event (hysteresis)
+        }
+      }
+    }
+  };
+
+  // ---- Serve jobs LPT-sequentially on the elastic group. ---------------
+  std::vector<std::size_t> order(jobs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return jobs[a].work_tokens() > jobs[b].work_tokens();
+  });
+  // Backlog contribution of jobs not yet started (autoscaler pressure).
+  std::vector<std::uint64_t> future_work(order.size() + 1, 0);
+  for (std::size_t k = order.size(); k-- > 0;) {
+    future_work[k] = future_work[k + 1] + jobs[order[k]].arrivals.size();
+  }
+
+  const std::uint64_t pos_s = model_.pos_s;
+  const auto clamped_prompt = [&](std::uint64_t prompt) {
+    return std::max<std::uint64_t>(1, std::min(prompt, pos_s - 1));
+  };
+
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const std::size_t j = order[k];
+    const sq::runtime::FleetJob& job = jobs[j];
+    sq::runtime::JobOutcome& jo = out.fleet.jobs[j];
+    jo.group = 0;
+
+    {
+      PendingChange p;
+      apply_due_events(fc_us, future_work[k], &p);
+      if (fatal.empty() && p.changed) {
+        // No in-flight work between jobs: adopt directly, charge the
+        // switch penalty as fleet time.
+        charge_to(fc_us);
+        const auto old_bits = ms.plan.layer_bits;
+        ms = std::move(p.next);
+        out.replans += p.switches;
+        if (prep_) prep_->reprepare(old_bits, ms.plan.layer_bits);
+        fc_us += p.switches * opts.replan_penalty_s * 1e6;
+        charge_to(fc_us);
+      }
+    }
+    if (!fatal.empty()) {
+      jo.failure = "no serving capacity remains: " + fatal;
+      out.fleet.events.push_back("job '" + job.name + "' lost: " + jo.failure);
+      continue;
+    }
+
+    const double fc0_us = fc_us;
+    jo.start_s = fc0_us * 1e-6;
+    const std::size_t n = job.arrivals.size();
+
+    sq::runtime::RequestStats total;
+    total.submitted = n;
+    total.requests.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      total.requests[i].id = i;
+      total.requests[i].arrive_s = job.arrivals[i].arrive_s;
+    }
+
+    sq::sim::FaultSchedule local_sched;
+    if (fleet_faults != nullptr && !fleet_faults->events.empty()) {
+      local_sched = sq::sim::schedule_from(*fleet_faults, fc0_us);
+    }
+    const sq::sim::FaultSchedule* sched_ptr =
+        local_sched.events.empty() ? nullptr : &local_sched;
+
+    if (prep_) prep_->prepare(ms.plan.layer_bits);
+
+    std::vector<std::size_t> remaining(n);
+    std::iota(remaining.begin(), remaining.end(), 0);
+    std::vector<std::int64_t> progress(n, -1);
+    double jl_us = 0.0;  ///< Job-local clock.
+    bool job_failed = false;
+
+    // One serving segment over `ids` from jl_us to stop (kInf = to the
+    // end); merges outcomes into `total` and returns the raw stats.
+    const auto serve_segment = [&](const std::vector<std::size_t>& ids,
+                                   double stop_local_us,
+                                   std::vector<std::size_t>* incomplete) {
+      std::vector<sq::workload::TimedRequest> sub;
+      std::vector<std::int64_t> sub_resume;
+      sub.reserve(ids.size());
+      sub_resume.reserve(ids.size());
+      for (const std::size_t id : ids) {
+        sub.push_back(job.arrivals[id]);
+        sub_resume.push_back(progress[id]);
+      }
+      sq::runtime::RequestScheduler sched(ms.cluster, model_, ms.plan, eff,
+                                          kernel_, memoize_);
+      sched.set_observe(observe_);
+      sq::runtime::ContinuousOptions c;
+      c.num_threads = opts.fleet.num_threads;
+      c.chunk_tokens = opts.chunk_tokens;
+      c.max_running = opts.max_running;
+      c.start_us = jl_us;
+      c.stop_us = stop_local_us;
+      c.resume = &sub_resume;
+      c.faults = sched_ptr;
+      c.to_original = &ms.to_base;
+      sq::runtime::RequestStats st = sched.serve(sub, c);
+
+      total.completed += st.completed;
+      total.lost += st.lost;
+      total.preemptions += st.preemptions;
+      total.admission_blocked += st.admission_blocked;
+      total.iterations += st.iterations;
+      total.output_tokens += st.output_tokens;
+      total.faults_hit += st.faults_hit;
+      total.retries += st.retries;
+      total.kv_peak_utilization =
+          std::max(total.kv_peak_utilization, st.kv_peak_utilization);
+      for (const auto& e : st.events) total.events.push_back(e);
+      incomplete->clear();
+      for (std::size_t si = 0; si < ids.size(); ++si) {
+        const std::size_t id = ids[si];
+        const sq::runtime::RequestOutcome& o = st.requests[si];
+        sq::runtime::RequestOutcome& dst = total.requests[id];
+        if (o.completed) {
+          dst.completed = true;
+          dst.admit_s = o.admit_s;
+          dst.finish_s = o.finish_s;
+          dst.output_tokens = o.output_tokens;
+          dst.preemptions = o.preemptions;
+          progress[id] = -1;
+        } else if (o.lost) {
+          dst.lost = true;
+          progress[id] = -1;
+        } else {
+          incomplete->push_back(id);
+          if (o.in_flight) {
+            progress[id] = o.prefill_done
+                               ? static_cast<std::int64_t>(o.progress_tokens)
+                               : std::int64_t{-1};
+          }
+        }
+      }
+      return st;
+    };
+
+    const auto lose_remaining = [&](const std::string& why) {
+      total.lost += remaining.size();
+      for (const std::size_t id : remaining) total.requests[id].lost = true;
+      total.events.push_back("[" + fmt_s(jl_us) + "] " + why + " (" +
+                             std::to_string(remaining.size()) + " requests)");
+      remaining.clear();
+      job_failed = true;
+      if (total.failure.empty()) total.failure = why;
+    };
+
+    while (!remaining.empty()) {
+      const double next_ev_us =
+          ev < timeline.events.size() ? timeline.events[ev].at_us : kInf;
+      const double stop_local = next_ev_us == kInf ? kInf : next_ev_us - fc0_us;
+
+      std::vector<std::size_t> incomplete;
+      const sq::runtime::RequestStats st =
+          serve_segment(remaining, stop_local, &incomplete);
+      if (!st.feasible) {
+        total.failure = st.failure;
+        lose_remaining("serving infeasible: " + st.failure);
+        break;
+      }
+      jl_us = (st.stopped ? st.stop_s : st.total_seconds) * 1e6;
+      fc_us = fc0_us + jl_us;
+      charge_to(fc_us);
+      remaining = std::move(incomplete);
+
+      if (st.fault_permanent) {
+        // Permanent failure: the device's KV is GONE — unlike a graceful
+        // leave, in-flight work always restarts.  Repair mirrors the
+        // fault-tolerant engine: exclude, replan, resume.
+        ++total.repairs_attempted;
+        for (const std::size_t id : remaining) {
+          if (progress[id] >= 0) {
+            ++out.restarts;
+            progress[id] = -1;
+          }
+        }
+        const int flat = flat_of_base(ms.to_base, st.fault_device);
+        if (flat < 0) {
+          lose_remaining("failed device unknown to the elastic group");
+          break;
+        }
+        const sq::hw::DegradedCluster deg =
+            sq::hw::degrade_cluster(ms.cluster, {flat});
+        if (!deg.feasible) {
+          fatal = deg.failure;
+          lose_remaining(fatal);
+          break;
+        }
+        ElasticReplanOutcome r;
+        if (!ladder(deg.cluster, &r)) {
+          fatal = "no feasible repair plan: " + r.failure;
+          lose_remaining(fatal);
+          break;
+        }
+        std::vector<int> chained;
+        chained.reserve(deg.to_original.size());
+        for (const int i : deg.to_original) {
+          chained.push_back(ms.to_base[static_cast<std::size_t>(i)]);
+        }
+        const auto old_bits = ms.plan.layer_bits;
+        ms.cluster = deg.cluster;
+        ms.to_base = std::move(chained);
+        ms.plan = std::move(r.plan);
+        ms.predicted_tok_s = r.predicted_tok_s;
+        if (prep_) prep_->reprepare(old_bits, ms.plan.layer_bits);
+        ++total.repairs_succeeded;
+        ++total.final_generation;
+        ++out.replans;
+        jl_us += opts.fleet.replan_penalty_s * 1e6;
+        fc_us = fc0_us + jl_us;
+        charge_to(fc_us);
+        total.events.push_back("[" + fmt_s(jl_us) + "] repaired after device " +
+                               std::to_string(st.fault_device) + " failed: " +
+                               ms.cluster.summary());
+        continue;
+      }
+      if (!st.stopped) break;  // Every request resolved.
+
+      // ---- Stopped at membership events: apply, settle, resume. --------
+      PendingChange p;
+      apply_due_events(fc_us, remaining.size() + future_work[k + 1], &p);
+      if (!fatal.empty()) {
+        lose_remaining("no serving capacity remains: " + fatal);
+        break;
+      }
+      if (!p.changed) continue;  // Price-only: nothing to settle.
+
+      const MigrationPolicy policy = opts.migration;
+      if (policy == MigrationPolicy::kDrain) {
+        // Finish everything holding KV state on the OLD plan first; the
+        // membership change waits (a leave's device lingers and keeps
+        // costing; a join's capacity idles).
+        std::vector<std::size_t> drain_ids;
+        for (const std::size_t id : remaining) {
+          if (progress[id] >= 0) drain_ids.push_back(id);
+        }
+        if (!drain_ids.empty()) {
+          out.drains += drain_ids.size();
+          std::vector<std::size_t> drain_left;
+          const sq::runtime::RequestStats ds =
+              serve_segment(drain_ids, kInf, &drain_left);
+          jl_us = ds.total_seconds * 1e6;
+          fc_us = fc0_us + jl_us;
+          charge_to(fc_us);
+          std::vector<std::size_t> merged;
+          for (const std::size_t id : remaining) {
+            const auto& o = total.requests[id];
+            if (!o.completed && !o.lost) merged.push_back(id);
+          }
+          remaining = std::move(merged);
+          for (const std::size_t id : drain_left) progress[id] = -1;
+          if (ds.fault_permanent) {
+            // A failure raced the drain: drop the drained progress and
+            // exclude the device from the pending cluster too.
+            const int flat = flat_of_base(p.next.to_base, ds.fault_device);
+            if (flat >= 0) {
+              const sq::hw::DegradedCluster deg =
+                  sq::hw::degrade_cluster(p.next.cluster, {flat});
+              ElasticReplanOutcome r;
+              if (!deg.feasible || !ladder(deg.cluster, &r)) {
+                fatal = !deg.feasible ? deg.failure
+                                      : "no feasible repair plan: " + r.failure;
+                lose_remaining("no serving capacity remains: " + fatal);
+                break;
+              }
+              std::vector<int> chained;
+              chained.reserve(deg.to_original.size());
+              for (const int i : deg.to_original) {
+                chained.push_back(p.next.to_base[static_cast<std::size_t>(i)]);
+              }
+              p.next.cluster = deg.cluster;
+              p.next.to_base = std::move(chained);
+              p.next.plan = std::move(r.plan);
+              p.next.predicted_tok_s = r.predicted_tok_s;
+              ++p.switches;
+              ++total.repairs_succeeded;
+              ++total.final_generation;
+            }
+          }
+        }
+      }
+
+      // Adopt the staged membership change.
+      charge_to(fc_us);
+      const auto old_bits = ms.plan.layer_bits;
+      const sq::hw::Bitwidth old_kv = ms.plan.kv_bits;
+      ms = std::move(p.next);
+      out.replans += p.switches;
+      ++total.final_generation;
+      if (prep_) prep_->reprepare(old_bits, ms.plan.layer_bits);
+      jl_us += p.switches * opts.replan_penalty_s * 1e6;
+
+      // Live migration: every request holding KV state re-transfers it to
+      // the new layout over the inter-node fabric (restart drops it).
+      const double mig_begin_us = fc0_us + jl_us;
+      if (policy == MigrationPolicy::kRestart) {
+        for (const std::size_t id : remaining) {
+          if (progress[id] < 0) continue;
+          ++out.restarts;
+          progress[id] = -1;
+        }
+      } else {  // kAuto / kMigrate (kDrain has no KV holders left)
+        double moved_bytes = 0.0;
+        double moved_us = 0.0;
+        std::uint64_t moved = 0;
+        for (const std::size_t id : remaining) {
+          if (progress[id] < 0) continue;
+          const std::uint64_t ctx =
+              clamped_prompt(job.arrivals[id].request.prompt_tokens) +
+              static_cast<std::uint64_t>(progress[id]);
+          const double bytes =
+              static_cast<double>(model_.n_layers) *
+              static_cast<double>(model_.layer_kv_bytes(ctx, old_kv));
+          moved_bytes += bytes;
+          moved_us += km.comm_time_us(bytes, ms.cluster.ethernet_gBps());
+          ++moved;
+        }
+        if (moved > 0) {
+          out.migrations += moved;
+          out.migrated_kv_bytes += moved_bytes;
+          out.migration_s += moved_us * 1e-6;
+          jl_us += moved_us;
+          total.events.push_back(
+              "[" + fmt_s(jl_us) + "] migrated " + std::to_string(moved) +
+              " in-flight request(s), " +
+              std::to_string(static_cast<long long>(moved_bytes)) +
+              " KV bytes in " + fmt_s(moved_us));
+          if (ob) {
+            migration_spans.push_back(
+                {"elastic.migration",
+                 mig_begin_us,
+                 mig_begin_us + moved_us,
+                 {{"requests", static_cast<double>(moved)},
+                  {"kv_bytes", moved_bytes},
+                  {"job", static_cast<double>(j)}}});
+          }
+        }
+      }
+      fc_us = fc0_us + jl_us;
+      charge_to(fc_us);
+    }
+
+    total.total_seconds = jl_us * 1e-6;
+    total.final_plan = ms.plan;
+    sq::runtime::finalize_request_aggregates(total);
+
+    jo.end_s = fc_us * 1e-6;
+    jo.completed = !job_failed;
+    if (!jo.completed) {
+      jo.failure = total.failure.empty() ? "serving aborted" : total.failure;
+    }
+    out.fleet.events.push_back(
+        "job '" + job.name + "' [" + fmt_s(fc0_us) + " .. " + fmt_s(fc_us) +
+        "] " +
+        (jo.completed
+             ? std::to_string(static_cast<long long>(total.output_tokens)) +
+                   " tokens (" + std::to_string(total.completed) + "/" +
+                   std::to_string(total.submitted) + " requests)"
+             : "FAILED: " + jo.failure));
+    if (jo.completed) {
+      ++out.fleet.jobs_completed;
+    }
+    out.fleet.output_tokens += total.output_tokens;
+    out.fleet.faults_hit += total.faults_hit;
+    out.fleet.retries += total.retries;
+    out.fleet.repairs += total.repairs_succeeded;
+    jo.continuous = std::move(total);
+  }
+
+  charge_to(fc_us);
+
+  // ---- Final aggregates. -----------------------------------------------
+  out.fleet.group_busy_s = {fc_us * 1e-6};
+  out.fleet.group_jobs = {0};
+  for (const auto& jo : out.fleet.jobs) {
+    if (jo.group == 0 && jo.end_s > jo.start_s) ++out.fleet.group_jobs[0];
+  }
+  out.fleet.makespan_s = fc_us * 1e-6;
+  if (out.fleet.makespan_s > 0.0) {
+    out.fleet.aggregate_tok_s = out.fleet.output_tokens / out.fleet.makespan_s;
+  }
+  if (out.dollars > 0.0) {
+    out.tokens_per_dollar = out.fleet.output_tokens / out.dollars;
+  }
+  for (const auto& e : out.events) out.fleet.events.push_back("elastic: " + e);
+
+  if (ob) {
+    sq::obs::counter("elastic.events").add(out.events_applied);
+    sq::obs::counter("elastic.joins.offered").add(out.joins_offered);
+    sq::obs::counter("elastic.joins.accepted").add(out.joins_accepted);
+    sq::obs::counter("elastic.joins.rejected").add(out.joins_rejected);
+    sq::obs::counter("elastic.leaves").add(out.leaves);
+    sq::obs::counter("elastic.price_events").add(out.price_events);
+    sq::obs::counter("elastic.scale_downs").add(out.scale_downs);
+    sq::obs::counter("elastic.replans").add(out.replans);
+    sq::obs::counter("elastic.migrations").add(out.migrations);
+    sq::obs::counter("elastic.drains").add(out.drains);
+    sq::obs::counter("elastic.restarts").add(out.restarts);
+    sq::obs::gauge("elastic.migrated_kv_bytes").set(out.migrated_kv_bytes);
+    sq::obs::gauge("elastic.device_seconds").set(out.device_seconds);
+    sq::obs::gauge("elastic.dollars").set(out.dollars);
+    sq::obs::gauge("elastic.tokens_per_dollar").set(out.tokens_per_dollar);
+    sq::obs::TraceSink sink;
+    for (auto& s : migration_spans) sink.add(std::move(s));
+    sq::obs::Registry::global().record_spans(sink.take());
+  }
+  return out;
+}
+
+}  // namespace sq::elastic

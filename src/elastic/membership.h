@@ -1,0 +1,103 @@
+// Elastic fleet membership: a deterministic timeline of device joins,
+// graceful leaves and price changes.
+//
+// SplitQuant plans once for a fixed heterogeneous cluster, but real
+// heterogeneous capacity is elastic: spot/preemptible GPUs appear and
+// vanish mid-run, and their hourly price moves.  The MembershipTimeline
+// generalizes sim/faults from failures to capacity events: where a
+// FaultSchedule only ever *removes* capability (and abruptly — KV state on
+// a failed device is lost), membership events offer capacity (`join`),
+// withdraw it cooperatively (`leave`: in-flight KV can be migrated off
+// before the device goes away) and reprice it (`price`: the autoscaler's
+// tokens-per-dollar objective shifts).
+//
+// Spec grammar (comma-separated, one event per item; shares the
+// tokenization rules of every other spec via common/spec_util.h):
+//
+//   join:<n>x<type>@<t>     e.g. "join:2xT4@120"     — n GPUs of <type>
+//                           (one new node, NVLink-joined) offered at t s.
+//   leave:node<k>@<t>       e.g. "leave:node1@300"    — node k (current
+//                           node index) withdraws at t s.
+//   leave:<dev>@<t>         e.g. "leave:3@300"        — flat device 3
+//                           (current cluster index) withdraws at t s.
+//   price:<type>=<p>@<t>    e.g. "price:T4=0.35@0"    — <type> costs p
+//                           $/device-hour from t s on.
+//
+// Times are seconds on the fleet's simulated clock.  `to_spec` renders a
+// timeline back into this grammar and `parse_membership_spec` inverts it
+// exactly (parse ∘ to_spec = id — property-tested).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/gpu.h"
+
+namespace sq::elastic {
+
+enum class MemberEventKind {
+  kJoin,   ///< New capacity offered (autoscaler may decline).
+  kLeave,  ///< Cooperative withdrawal (in-flight work can migrate off).
+  kPrice,  ///< $/device-hour change for one GPU type.
+};
+
+/// Short display name ("join", "leave", "price").
+const char* to_string(MemberEventKind k);
+
+/// One membership event.  Which fields matter depends on `kind`.
+struct MembershipEvent {
+  MemberEventKind kind = MemberEventKind::kJoin;
+  double at_us = 0.0;  ///< Fleet-clock instant (microseconds).
+
+  // kJoin: `count` GPUs of `gpu` arrive as one new NVLink-joined node.
+  int count = 1;
+  sq::hw::GpuType gpu = sq::hw::GpuType::kT4;
+
+  // kLeave: the departing capacity, addressed in CURRENT cluster
+  // coordinates at the instant the event fires.
+  bool whole_node = false;  ///< True: `index` is a node index.
+  int index = -1;           ///< Node index or flat device index.
+
+  // kPrice: new $/device-hour for `gpu`.
+  double price = 0.0;
+
+  /// Render back into the spec grammar (one item, no comma).
+  std::string to_spec() const;
+};
+
+/// An ordered membership timeline.
+struct MembershipTimeline {
+  std::vector<MembershipEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  /// Sort into the canonical deterministic order: (time, kind, index,
+  /// type, count, price).
+  void normalize();
+
+  /// Comma-joined spec of all events.
+  std::string to_spec() const;
+};
+
+/// Outcome of parsing an --elastic spec.
+struct MembershipParse {
+  bool ok = false;
+  std::string error;  ///< One-line diagnostic when !ok.
+  MembershipTimeline timeline;
+};
+
+/// Parse the --elastic grammar above.  Never throws; malformed input
+/// returns ok = false with a diagnostic naming the offending item.  An
+/// empty / all-whitespace spec parses ok with an empty timeline.
+MembershipParse parse_membership_spec(const std::string& spec);
+
+/// Seeded random timeline for sweeps: `n_events` events over
+/// [0, horizon_s), a mix of joins (1-2 GPUs of a random type), at most one
+/// leave, and price moves in [0.20, 3.00) $/h.  Times are quantized to
+/// milliseconds and prices to cents so the spec grammar round-trips
+/// exactly.  Deterministic in (seed, horizon_s, n_events).
+MembershipTimeline random_membership(std::uint64_t seed, double horizon_s,
+                                     int n_events);
+
+}  // namespace sq::elastic

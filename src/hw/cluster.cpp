@@ -71,6 +71,12 @@ DegradedCluster degrade_cluster(const Cluster& c, const std::vector<int>& failed
     node.gpu_count = alive;
     if (alive > 0) nodes.push_back(std::move(node));
   }
+  if (survivors.empty() && c.device_count() > 0) {
+    out.feasible = false;
+    out.failure = "degradation excludes every device of '" + c.name() + "' (" +
+                  std::to_string(c.device_count()) + " total)";
+    return out;
+  }
   out.cluster = Cluster(c.name() + "-degraded", std::move(nodes),
                         c.ethernet_gBps() * 8.0);
   out.to_original = std::move(survivors);
@@ -89,6 +95,17 @@ DegradedCluster degrade_cluster(const Cluster& c, const std::vector<int>& failed
     }
     out.cluster.set_spec(i, spec);
   }
+  return out;
+}
+
+Cluster grow_cluster(const Cluster& c, const Node& node) {
+  std::vector<Node> nodes = c.nodes();
+  nodes.push_back(node);
+  Cluster out(c.name(), std::move(nodes), c.ethernet_gBps() * 8.0);
+  // Re-apply per-device spec overrides: the rebuilt cluster reset every
+  // device to its type default, but calibration / derates must survive a
+  // grow exactly as they survive a degrade.
+  for (int i = 0; i < c.device_count(); ++i) out.set_spec(i, c.spec(i));
   return out;
 }
 

@@ -109,13 +109,26 @@ struct DegradedCluster {
   Cluster cluster;
   std::vector<int> to_original;    ///< New flat index -> original flat index.
   std::vector<int> from_original;  ///< Original -> new index, -1 if removed.
+  bool feasible = true;            ///< False when no device survives.
+  std::string failure;             ///< Why, when !feasible.
 };
 
 /// Build the degraded view of `c`: devices in `failed` are excluded (nodes
 /// losing every GPU disappear entirely), devices in `derates` keep their
 /// slot but with throughput peaks divided by the derate factor.  Device
 /// ordering is preserved, so the maps are monotone.
+///
+/// When the exclusions empty a non-empty cluster, the result carries
+/// `feasible = false` and a diagnostic instead of silently handing an
+/// empty cluster to the planner (which would fail later with a confusing
+/// stage-count error).  Callers must check `feasible` before planning.
 DegradedCluster degrade_cluster(const Cluster& c, const std::vector<int>& failed,
                                 const std::vector<DeviceDerate>& derates = {});
+
+/// Append `node` to `c`, preserving existing flat device indices (the new
+/// node's GPUs take the next indices).  Existing per-device spec overrides
+/// (calibration, derates) are carried over.  Used by elastic membership to
+/// admit joining capacity.
+Cluster grow_cluster(const Cluster& c, const Node& node);
 
 }  // namespace sq::hw

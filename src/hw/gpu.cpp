@@ -24,6 +24,15 @@ const char* to_string(GpuType t) {
   return "?";
 }
 
+bool gpu_type_from_string(const std::string& s, GpuType* out) {
+  if (s == "T4") *out = GpuType::kT4;
+  else if (s == "P100") *out = GpuType::kP100;
+  else if (s == "V100") *out = GpuType::kV100;
+  else if (s == "A100-40G" || s == "A100") *out = GpuType::kA100_40G;
+  else return false;
+  return true;
+}
+
 namespace {
 
 constexpr std::uint64_t kGiB = 1ULL << 30;

@@ -41,6 +41,11 @@ const char* to_string(Bitwidth b);
 /// Short display name ("T4", "P100", ...).
 const char* to_string(GpuType t);
 
+/// Inverse of to_string(GpuType): parses "T4", "P100", "V100", "A100-40G"
+/// (plus the bare alias "A100").  Returns false on anything else; `*out`
+/// is untouched on failure.
+bool gpu_type_from_string(const std::string& s, GpuType* out);
+
 /// Per-device capability and calibration record.
 ///
 /// `*_eff` members are dimensionless utilization factors in (0, 1] applied

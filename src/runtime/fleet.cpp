@@ -6,6 +6,7 @@
 #include <memory>
 #include <numeric>
 
+#include "common/spec_util.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "runtime/scheduler.h"
@@ -77,6 +78,12 @@ void fold_repair(GroupState* st, const sq::sim::ExecutionPlan& final_plan) {
   }
   const sq::hw::DegradedCluster deg = sq::hw::degrade_cluster(
       st->cluster, final_plan.excluded_devices, derates);
+  if (!deg.feasible) {
+    // The repair excluded every device; nothing left to fold — the group
+    // is done for.  (The recovery engine already reported the failure.)
+    st->retired = true;
+    return;
+  }
 
   sq::sim::FaultSchedule remapped;
   for (const auto& e : st->schedule.events) {
@@ -127,13 +134,7 @@ double FleetJob::work_tokens() const {
 
 JobsParse parse_jobs_spec(const std::string& spec) {
   JobsParse out;
-  std::size_t pos = 0;
-  while (pos <= spec.size()) {
-    const std::size_t comma = spec.find(',', pos);
-    const std::string item = spec.substr(
-        pos, comma == std::string::npos ? std::string::npos : comma - pos);
-    pos = comma == std::string::npos ? spec.size() + 1 : comma + 1;
-    if (item.empty()) continue;
+  for (const std::string& item : sq::common::split_spec_items(spec)) {
     const auto bad = [&](const std::string& why) {
       out.ok = false;
       out.error = "bad --jobs item '" + item + "': " + why;
@@ -147,16 +148,13 @@ JobsParse parse_jobs_spec(const std::string& spec) {
     const std::string name = item.substr(0, colon);
     const std::string count = item.substr(colon + 1);
     if (name.find(':') != std::string::npos) return bad("name contains ':'");
-    // Strict base-10: stoll alone would accept leading whitespace / signs.
-    if (count.empty() || count[0] < '0' || count[0] > '9') {
-      return bad("count is not a number");
+    for (const char c : name) {
+      if (sq::common::spec_space(c)) return bad("name contains whitespace");
     }
+    // Strict base-10 (common/spec_util.h): whitespace, signs and trailing
+    // junk are all rejected.
     long long n = 0;
-    try {
-      std::size_t used = 0;
-      n = std::stoll(count, &used);
-      if (used != count.size()) return bad("trailing junk after the count");
-    } catch (const std::exception&) {
+    if (!sq::common::parse_spec_uint(count, &n)) {
       return bad("count is not a number");
     }
     if (n < 1) return bad("count must be >= 1");

@@ -104,7 +104,7 @@ RecoveryStats FaultTolerantEngine::serve(
     }
     const sq::hw::DegradedCluster deg =
         sq::hw::degrade_cluster(cluster_, failed, derates);
-    if (deg.cluster.device_count() == 0) return false;
+    if (!deg.feasible || deg.cluster.device_count() == 0) return false;
 
     ReplanOutcome outcome;
     for (int attempt = 0; attempt < std::max(1, opts.max_replan_attempts);
@@ -374,7 +374,7 @@ RequestStats FaultTolerantEngine::serve_continuous(
     }
     const sq::hw::DegradedCluster deg =
         sq::hw::degrade_cluster(cluster_, failed, derates);
-    if (deg.cluster.device_count() == 0) return false;
+    if (!deg.feasible || deg.cluster.device_count() == 0) return false;
 
     ReplanOutcome outcome;
     for (int attempt = 0; attempt < std::max(1, opts.max_replan_attempts);

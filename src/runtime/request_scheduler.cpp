@@ -153,6 +153,17 @@ RequestStats RequestScheduler::serve(
     out.id = i;
     out.arrive_s = arrivals[i].arrive_s;
     out.prompt_tokens = r.prompt;
+
+    // Resume progress from a previous (stopped) serve: prefill is done and
+    // `p` tokens stand generated.  Clamped so the request still takes at
+    // least one decode step when it can (output >= 2).
+    if (opts.resume != nullptr && i < opts.resume->size() &&
+        (*opts.resume)[i] >= 0) {
+      const auto p = static_cast<std::uint64_t>((*opts.resume)[i]);
+      r.next_chunk = r.chunks;
+      r.generated = std::max<std::uint64_t>(
+          1, std::min(p, r.output > 1 ? r.output - 1 : r.output));
+    }
   }
 
   // ---- Per-stage KV budgets (sim/memory.cpp accounting) ----------------
@@ -291,6 +302,14 @@ RequestStats RequestScheduler::serve(
   double last_finish = clock;
 
   while (finished < n) {
+    // Stop horizon: no iteration starts at or past it.  One that was
+    // already under way has fully committed, so the outstanding requests
+    // pause at a clean iteration boundary with exact progress counts.
+    if (clock >= opts.stop_us) {
+      stats.stopped = true;
+      break;
+    }
+
     // Arrivals up to the current instant enter the FIFO queue.
     while (next_arrival < n && req[order[next_arrival]].arrive_us <= clock) {
       const std::size_t r = order[next_arrival++];
@@ -334,11 +353,16 @@ RequestStats RequestScheduler::serve(
     while (!waiting.empty() && prefilling < eta &&
            (opts.max_running == 0 || running.size() < opts.max_running)) {
       const std::size_t r = waiting.front();
-      if (!reserve_all(r, req[r].prompt)) {
+      // A resumed request re-reserves its full restored context (prompt +
+      // generated); a fresh one reserves its prompt.
+      const std::uint64_t ctx =
+          req[r].prompt +
+          (req[r].next_chunk >= req[r].chunks ? req[r].generated : 0);
+      if (!reserve_all(r, ctx)) {
         release_all(r);  // drop any partial per-stage growth
         if (running.empty()) {
           waiting.erase(waiting.begin());
-          mark_lost(r, "prompt KV of " + std::to_string(req[r].prompt) +
+          mark_lost(r, "prompt KV of " + std::to_string(ctx) +
                            " tokens exceeds the pool");
           continue;
         }
@@ -350,12 +374,17 @@ RequestStats RequestScheduler::serve(
       running.push_back(r);
       if (req[r].admit_us < 0.0) req[r].admit_us = clock;
       req[r].ready_us = std::max(req[r].arrive_us, clock);
-      ++prefilling;
+      // Resumed requests enter in decode, not prefill — they must not
+      // consume an eta slot.
+      if (req[r].next_chunk < req[r].chunks) ++prefilling;
     }
 
     if (running.empty()) {
       if (next_arrival < n) {
-        clock = std::max(clock, req[order[next_arrival]].arrive_us);
+        // Idle jump to the next arrival, clamped to the stop horizon so a
+        // pause never stamps stop_s past it.
+        clock = std::max(
+            clock, std::min(req[order[next_arrival]].arrive_us, opts.stop_us));
         continue;
       }
       break;  // nothing runnable and nothing left to arrive
@@ -581,9 +610,23 @@ RequestStats RequestScheduler::serve(
       }
     }
   }
-  const double end_us = stats.fault_permanent
-                            ? std::max(clock, last_finish)
-                            : std::max(last_finish, opts.start_us);
+  // Admitted-but-incomplete requests at a pause carry their progress so
+  // the caller can decide to migrate (resume) or restart each one.
+  if (stats.stopped || stats.fault_permanent) {
+    for (const std::size_t r : running) {
+      if (req[r].done) continue;
+      RequestOutcome& out = stats.requests[r];
+      out.in_flight = true;
+      out.prefill_done = req[r].next_chunk >= req[r].chunks;
+      out.progress_tokens = req[r].generated;
+    }
+  }
+  double end_us = stats.fault_permanent ? std::max(clock, last_finish)
+                                        : std::max(last_finish, opts.start_us);
+  if (stats.stopped) {
+    end_us = std::max(clock, last_finish);
+    stats.stop_s = end_us * 1e-6;
+  }
   stats.total_seconds = end_us * 1e-6;
   finalize_request_aggregates(stats);
 

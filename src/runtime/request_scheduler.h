@@ -42,6 +42,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -67,6 +68,14 @@ struct RequestOutcome {
   std::uint64_t prompt_tokens = 0;
   std::uint64_t output_tokens = 0;  ///< Committed tokens (0 unless completed).
   std::uint64_t preemptions = 0;    ///< Times evicted and re-queued.
+  /// Serving stopped (stop horizon or permanent fault) while this request
+  /// was admitted and incomplete.  Never set on completed/lost requests.
+  bool in_flight = false;
+  bool prefill_done = false;          ///< In-flight: prefill had finished.
+  /// In-flight: tokens generated so far (0 while still prefilling).  Feed
+  /// back through ContinuousOptions::resume to continue without redoing
+  /// the work.
+  std::uint64_t progress_tokens = 0;
 };
 
 /// Aggregate results of continuous serving.  Bit-identical across thread
@@ -102,6 +111,11 @@ struct RequestStats {
   bool fault_permanent = false;
   int fault_device = -1;
   double fault_s = 0.0;
+  /// Serving reached ContinuousOptions::stop_us with work outstanding and
+  /// paused there: incomplete requests carry in_flight/progress outcomes.
+  /// The elastic engine uses this to serve up to a membership event.
+  bool stopped = false;
+  double stop_s = 0.0;  ///< Instant to resume from (seconds).
   /// Deterministic event log ("[1.234s] ..."); identical across threads.
   std::vector<std::string> events;
   std::vector<RequestOutcome> requests;  ///< In input order.
@@ -133,6 +147,17 @@ struct ContinuousOptions {
   /// it to resume after a repair; times in the fault schedule are always
   /// absolute on this same clock.
   double start_us = 0.0;
+  /// Serving pauses once the simulated clock reaches this instant: no new
+  /// iteration starts at or past it (one already under way completes).
+  /// Stats then carry stopped/stop_s and per-request progress so a caller
+  /// can resume — the elastic engine serves segment-by-segment between
+  /// membership events this way.  Default: never stop.
+  double stop_us = std::numeric_limits<double>::infinity();
+  /// Per-request resume progress, index-parallel with the arrival list:
+  /// -1 = fresh request, >= 0 = prefill already done with that many tokens
+  /// generated (KV for prompt+progress re-reserves on admission; values
+  /// are clamped into the request's valid range).  Null = all fresh.
+  const std::vector<std::int64_t>* resume = nullptr;
   const sq::sim::FaultSchedule* faults = nullptr;  ///< Null = fault-free.
   /// Current flat device index -> ORIGINAL index for the fault schedule
   /// (after a plan repair); null = identity.

@@ -3,9 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <sstream>
-#include <stdexcept>
 
+#include "common/spec_util.h"
 #include "tensor/rng.h"
 
 namespace sq::sim {
@@ -91,10 +90,7 @@ std::string FaultSchedule::to_spec() const {
 
 FaultParse parse_fault_spec(const std::string& spec) {
   FaultParse out;
-  std::stringstream ss(spec);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    if (item.empty()) continue;
+  for (const std::string& item : sq::common::split_spec_items(spec)) {
     FaultEvent e;
     const auto colon = item.find(':');
     const auto at = item.find('@');
@@ -110,46 +106,44 @@ FaultParse parse_fault_spec(const std::string& spec) {
       out.error = "unknown fault kind '" + kind + "' (want fail|slow|link)";
       return out;
     }
-    try {
-      // Full-consumption parses: stoi/stod alone would accept trailing
-      // junk ("1 extra") and hide typos.
-      std::size_t used = 0;
-      const auto whole = [&used](const std::string& s) {
-        if (used != s.size()) throw std::invalid_argument("trailing junk");
-      };
-      const std::string dev = item.substr(colon + 1, at - colon - 1);
-      e.device = std::stoi(dev, &used);
-      whole(dev);
-      std::string rest = item.substr(at + 1);
-      // <t>[+<d>][x<f>] — split off the factor first, then the duration.
-      const auto x = rest.find('x');
-      if (x != std::string::npos) {
-        if (e.kind == FaultKind::kDeviceFail) {
-          out.error = "factor not allowed on 'fail' in '" + item + "'";
-          return out;
-        }
-        const std::string fac = rest.substr(x + 1);
-        e.factor = std::stod(fac, &used);
-        whole(fac);
-        rest = rest.substr(0, x);
-      }
-      const auto plus = rest.find('+');
-      if (plus != std::string::npos) {
-        const std::string dur = rest.substr(plus + 1);
-        e.duration_us = std::stod(dur, &used) * 1e6;
-        whole(dur);
-        rest = rest.substr(0, plus);
-      }
-      e.start_us = std::stod(rest, &used) * 1e6;
-      whole(rest);
-    } catch (const std::exception&) {
+    // Strict field parses (common/spec_util.h): whitespace inside an item
+    // and trailing junk ("1 extra") are rejected uniformly across the spec
+    // grammars.
+    const auto bad_number = [&] {
       out.error = "bad number in fault item '" + item + "'";
       return out;
+    };
+    long long dev = 0;
+    if (!sq::common::parse_spec_uint(item.substr(colon + 1, at - colon - 1),
+                                     &dev)) {
+      return bad_number();
     }
-    if (e.device < 0) {
-      out.error = "negative device in '" + item + "'";
-      return out;
+    e.device = static_cast<int>(dev);
+    std::string rest = item.substr(at + 1);
+    // <t>[+<d>][x<f>] — split off the factor first, then the duration.
+    const auto x = rest.find('x');
+    if (x != std::string::npos) {
+      if (e.kind == FaultKind::kDeviceFail) {
+        out.error = "factor not allowed on 'fail' in '" + item + "'";
+        return out;
+      }
+      if (!sq::common::parse_spec_double(rest.substr(x + 1), &e.factor)) {
+        return bad_number();
+      }
+      rest = rest.substr(0, x);
     }
+    const auto plus = rest.find('+');
+    if (plus != std::string::npos) {
+      double dur_s = 0.0;
+      if (!sq::common::parse_spec_double(rest.substr(plus + 1), &dur_s)) {
+        return bad_number();
+      }
+      e.duration_us = dur_s * 1e6;
+      rest = rest.substr(0, plus);
+    }
+    double start_s = 0.0;
+    if (!sq::common::parse_spec_double(rest, &start_s)) return bad_number();
+    e.start_us = start_s * 1e6;
     if (e.start_us < 0.0 || e.duration_us <= 0.0) {
       out.error = "non-positive time in '" + item + "'";
       return out;

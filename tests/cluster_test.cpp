@@ -89,5 +89,49 @@ TEST(PaperClusters, HomogeneousClustersAreSingleNode) {
   }
 }
 
+TEST(DegradeCluster, PartialExclusionStaysFeasible) {
+  const Cluster c = paper_cluster(7);  // 4xT4 + 2xV100
+  const DegradedCluster d = degrade_cluster(c, {0, 4});
+  EXPECT_TRUE(d.feasible);
+  EXPECT_TRUE(d.failure.empty());
+  EXPECT_EQ(d.cluster.device_count(), c.device_count() - 2);
+  EXPECT_EQ(d.from_original[0], -1);
+  EXPECT_EQ(d.from_original[4], -1);
+  EXPECT_EQ(d.to_original[0], 1);  // ordering preserved
+}
+
+TEST(DegradeCluster, EmptyingTheClusterIsATypedInfeasibleError) {
+  const Cluster c = homogeneous_cluster("h", GpuType::kT4, 2);
+  const DegradedCluster d = degrade_cluster(c, {0, 1});
+  EXPECT_FALSE(d.feasible);
+  EXPECT_NE(d.failure.find("excludes every device"), std::string::npos)
+      << d.failure;
+  EXPECT_EQ(d.cluster.device_count(), 0);
+  // One-line diagnostic, suitable for event logs.
+  EXPECT_EQ(d.failure.find('\n'), std::string::npos);
+}
+
+TEST(GrowCluster, AppendsNodePreservingIndicesAndBandwidth) {
+  const Cluster c = paper_cluster(7);
+  Node joined;
+  joined.name = "joined-0";
+  joined.gpu_type = GpuType::kT4;
+  joined.gpu_count = 2;
+  joined.intra_gbps = 300.0;
+  const Cluster g = grow_cluster(c, joined);
+  ASSERT_EQ(g.device_count(), c.device_count() + 2);
+  // Existing flat indices (and their specs) are untouched.
+  for (int d = 0; d < c.device_count(); ++d) {
+    EXPECT_EQ(g.spec(d).type, c.spec(d).type) << d;
+  }
+  EXPECT_EQ(g.spec(c.device_count()).type, GpuType::kT4);
+  EXPECT_EQ(g.spec(c.device_count() + 1).type, GpuType::kT4);
+  // Ethernet bandwidth survives the rebuild exactly (Gbps vs GB/s units).
+  EXPECT_DOUBLE_EQ(g.ethernet_gBps(), c.ethernet_gBps());
+  // New devices sit on their own node.
+  EXPECT_TRUE(g.same_node(c.device_count(), c.device_count() + 1));
+  EXPECT_FALSE(g.same_node(0, c.device_count()));
+}
+
 }  // namespace
 }  // namespace sq::hw

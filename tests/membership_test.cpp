@@ -1,0 +1,135 @@
+// Unit tests for the elastic membership grammar: parsing, rendering,
+// normalization and the seeded random generator.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "elastic/membership.h"
+
+namespace sq::elastic {
+namespace {
+
+TEST(Membership, ParsesTheIssueExampleSpec) {
+  const MembershipParse p =
+      parse_membership_spec("join:2xT4@120,leave:node1@300,price:T4=0.35@0");
+  ASSERT_TRUE(p.ok) << p.error;
+  ASSERT_EQ(p.timeline.events.size(), 3u);
+  // Normalized by time: price@0, join@120, leave@300.
+  const MembershipEvent& price = p.timeline.events[0];
+  EXPECT_EQ(price.kind, MemberEventKind::kPrice);
+  EXPECT_EQ(price.gpu, sq::hw::GpuType::kT4);
+  EXPECT_DOUBLE_EQ(price.price, 0.35);
+  EXPECT_DOUBLE_EQ(price.at_us, 0.0);
+
+  const MembershipEvent& join = p.timeline.events[1];
+  EXPECT_EQ(join.kind, MemberEventKind::kJoin);
+  EXPECT_EQ(join.count, 2);
+  EXPECT_EQ(join.gpu, sq::hw::GpuType::kT4);
+  EXPECT_DOUBLE_EQ(join.at_us, 120e6);
+
+  const MembershipEvent& leave = p.timeline.events[2];
+  EXPECT_EQ(leave.kind, MemberEventKind::kLeave);
+  EXPECT_TRUE(leave.whole_node);
+  EXPECT_EQ(leave.index, 1);
+  EXPECT_DOUBLE_EQ(leave.at_us, 300e6);
+}
+
+TEST(Membership, ParsesDeviceLeaveAndAllGpuTypes) {
+  const MembershipParse p = parse_membership_spec(
+      "leave:3@1,join:1xP100@2,join:4xV100@3,join:1xA100-40G@4");
+  ASSERT_TRUE(p.ok) << p.error;
+  ASSERT_EQ(p.timeline.events.size(), 4u);
+  EXPECT_FALSE(p.timeline.events[0].whole_node);
+  EXPECT_EQ(p.timeline.events[0].index, 3);
+  EXPECT_EQ(p.timeline.events[1].gpu, sq::hw::GpuType::kP100);
+  EXPECT_EQ(p.timeline.events[2].gpu, sq::hw::GpuType::kV100);
+  EXPECT_EQ(p.timeline.events[3].gpu, sq::hw::GpuType::kA100_40G);
+}
+
+TEST(Membership, EmptySpecParsesToEmptyTimeline) {
+  const MembershipParse p = parse_membership_spec("");
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_TRUE(p.timeline.empty());
+  EXPECT_EQ(p.timeline.to_spec(), "");
+}
+
+TEST(Membership, RejectsBadItemsWithOneLineDiagnostics) {
+  for (const char* s :
+       {"join:2xT4", "flip:1@2", "join:0xT4@1", "price:T4=0@1", "leave:x@1"}) {
+    const MembershipParse p = parse_membership_spec(s);
+    EXPECT_FALSE(p.ok) << "accepted: " << s;
+    EXPECT_FALSE(p.error.empty()) << s;
+    EXPECT_EQ(p.error.find('\n'), std::string::npos) << s;
+  }
+}
+
+TEST(Membership, NormalizeOrdersByTimeThenKind) {
+  MembershipTimeline t;
+  MembershipEvent leave;
+  leave.kind = MemberEventKind::kLeave;
+  leave.at_us = 5e6;
+  leave.index = 0;
+  MembershipEvent join;
+  join.kind = MemberEventKind::kJoin;
+  join.at_us = 5e6;
+  MembershipEvent price;
+  price.kind = MemberEventKind::kPrice;
+  price.at_us = 1e6;
+  price.price = 1.0;
+  t.events = {leave, join, price};
+  t.normalize();
+  EXPECT_EQ(t.events[0].kind, MemberEventKind::kPrice);
+  EXPECT_EQ(t.events[1].kind, MemberEventKind::kJoin);
+  EXPECT_EQ(t.events[2].kind, MemberEventKind::kLeave);
+}
+
+TEST(Membership, SpecRoundTripPreservesEveryField) {
+  const MembershipParse p = parse_membership_spec(
+      "price:V100=1.27@0.125,join:3xT4@12.375,leave:node0@60.5,leave:2@61");
+  ASSERT_TRUE(p.ok) << p.error;
+  const MembershipParse q = parse_membership_spec(p.timeline.to_spec());
+  ASSERT_TRUE(q.ok) << q.error;
+  ASSERT_EQ(q.timeline.events.size(), p.timeline.events.size());
+  for (std::size_t i = 0; i < p.timeline.events.size(); ++i) {
+    const MembershipEvent& a = p.timeline.events[i];
+    const MembershipEvent& b = q.timeline.events[i];
+    EXPECT_EQ(a.kind, b.kind) << i;
+    EXPECT_EQ(a.at_us, b.at_us) << i;  // exact, not approximate
+    EXPECT_EQ(a.count, b.count) << i;
+    EXPECT_EQ(a.gpu, b.gpu) << i;
+    EXPECT_EQ(a.whole_node, b.whole_node) << i;
+    EXPECT_EQ(a.index, b.index) << i;
+    EXPECT_EQ(a.price, b.price) << i;
+  }
+}
+
+TEST(Membership, RandomMembershipIsSeedDeterministic) {
+  const MembershipTimeline a = random_membership(42, 120.0, 8);
+  const MembershipTimeline b = random_membership(42, 120.0, 8);
+  ASSERT_EQ(a.events.size(), 8u);
+  EXPECT_EQ(a.to_spec(), b.to_spec());
+  const MembershipTimeline c = random_membership(43, 120.0, 8);
+  EXPECT_NE(a.to_spec(), c.to_spec());
+}
+
+TEST(Membership, RandomMembershipStaysInsideTheHorizon) {
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    const MembershipTimeline t = random_membership(seed, 60.0, 6);
+    ASSERT_EQ(t.events.size(), 6u) << seed;
+    double prev = 0.0;
+    for (const auto& e : t.events) {
+      EXPECT_GE(e.at_us, prev) << seed;  // normalized
+      EXPECT_LT(e.at_us, 60e6) << seed;
+      prev = e.at_us;
+    }
+  }
+}
+
+TEST(Membership, RandomMembershipDegenerateInputsAreEmpty) {
+  EXPECT_TRUE(random_membership(1, 0.0, 4).empty());
+  EXPECT_TRUE(random_membership(1, 60.0, 0).empty());
+  EXPECT_TRUE(random_membership(1, 60.0, -3).empty());
+}
+
+}  // namespace
+}  // namespace sq::elastic

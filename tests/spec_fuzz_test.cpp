@@ -1,13 +1,16 @@
-// Grammar fuzz tests for the CLI spec parsers: --faults, --jobs and
-// --arrivals.  Seeded valid generators must round-trip; seeded mutations
-// and raw ASCII noise must either parse or reject with a one-line
-// diagnostic — exceptions never escape any parser.
+// Grammar fuzz tests for the CLI spec parsers: --faults, --jobs,
+// --arrivals and --elastic.  Seeded valid generators must round-trip;
+// seeded mutations and raw ASCII noise must either parse or reject with a
+// one-line diagnostic — exceptions never escape any parser.  The parsers
+// share one tokenizer (common/spec_util.h), so the whitespace/comma rules
+// are asserted uniformly across grammars.
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "elastic/membership.h"
 #include "runtime/fleet.h"
 #include "sim/faults.h"
 #include "workload/arrivals.h"
@@ -252,6 +255,95 @@ TEST(SpecFuzz, NoiseArrivalSpecsNeverThrow) {
       EXPECT_FALSE(p.error.empty()) << spec;
     }
   }
+}
+
+// ------------------------------------------------------------ membership
+
+TEST(SpecFuzz, ValidMembershipTimelinesRoundTrip) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    const sq::elastic::MembershipTimeline t = sq::elastic::random_membership(
+        seed, 300.0, 1 + static_cast<int>(seed % 6));
+    const std::string spec = t.to_spec();
+    const sq::elastic::MembershipParse p =
+        sq::elastic::parse_membership_spec(spec);
+    ASSERT_TRUE(p.ok) << "seed " << seed << ": " << p.error << "\n" << spec;
+    ASSERT_EQ(p.timeline.events.size(), t.events.size()) << spec;
+    EXPECT_EQ(p.timeline.to_spec(), spec) << "seed " << seed;
+  }
+}
+
+TEST(SpecFuzz, MutatedMembershipSpecsNeverThrow) {
+  for (std::uint64_t seed = 0; seed < 400; ++seed) {
+    Rng rng(0xE1A5 ^ (seed * 748291ULL));
+    std::string spec = "price:T4=0.35@0,join:2xT4@12.5,leave:node1@30";
+    spec = mutate(spec, rng);
+    sq::elastic::MembershipParse p;
+    ASSERT_NO_THROW(p = sq::elastic::parse_membership_spec(spec)) << spec;
+    if (!p.ok) {
+      EXPECT_FALSE(p.error.empty()) << spec;
+    } else {
+      for (const auto& e : p.timeline.events) {
+        EXPECT_GE(e.at_us, 0.0) << spec;
+        if (e.kind == sq::elastic::MemberEventKind::kJoin) {
+          EXPECT_GE(e.count, 1) << spec;
+          EXPECT_LE(e.count, 64) << spec;
+        }
+        if (e.kind == sq::elastic::MemberEventKind::kPrice) {
+          EXPECT_GT(e.price, 0.0) << spec;
+        }
+      }
+    }
+  }
+}
+
+TEST(SpecFuzz, NoiseMembershipSpecsNeverThrow) {
+  for (std::uint64_t seed = 0; seed < 400; ++seed) {
+    Rng rng(0x3145 ^ (seed * 104729ULL));
+    const std::string spec = random_noise(rng, 64);
+    sq::elastic::MembershipParse p;
+    ASSERT_NO_THROW(p = sq::elastic::parse_membership_spec(spec)) << spec;
+    if (!p.ok) {
+      EXPECT_FALSE(p.error.empty()) << spec;
+    }
+  }
+}
+
+TEST(SpecFuzz, MembershipSpecRejectsKnownBadShapes) {
+  const char* bad[] = {
+      "join",           "join:2xT4",       "join:xT4@1",   "join:0xT4@1",
+      "join:65xT4@1",   "join:2xQ6000@1",  "join:2T4@1",   "join:-2xT4@1",
+      "leave:@1",       "leave:node@1",    "leave:-1@1",   "leave:1",
+      "price:T4@1",     "price:T4=@1",     "price:T4=0@1", "price:T4=-1@1",
+      "price:=2@1",     "join:2xT4@-1",    "grow:2xT4@1",  "join:2 xT4@1",
+      "join:2xT4@1 0",
+  };
+  for (const char* s : bad) {
+    const sq::elastic::MembershipParse p = sq::elastic::parse_membership_spec(s);
+    EXPECT_FALSE(p.ok) << "accepted: " << s;
+    EXPECT_FALSE(p.error.empty()) << s;
+  }
+}
+
+// ---------------------------------------------- unified tokenization rules
+
+// All spec grammars run on common/spec_util.h: whitespace AROUND items and
+// empty items (trailing/doubled commas) are tolerated everywhere, while
+// whitespace INSIDE an item is an error everywhere.
+TEST(SpecFuzz, TokenizationAcceptsSurroundingWhitespaceEverywhere) {
+  EXPECT_TRUE(sq::sim::parse_fault_spec(" fail:1@1 ,\tslow:2@3x2.5 , ").ok);
+  EXPECT_TRUE(sq::runtime::parse_jobs_spec(" alpha:4 ,\tbeta:8 , ").ok);
+  EXPECT_TRUE(
+      sq::elastic::parse_membership_spec(" join:2xT4@1 ,\tprice:V100=1.5@2 , ")
+          .ok);
+}
+
+TEST(SpecFuzz, TokenizationRejectsEmbeddedWhitespaceEverywhere) {
+  EXPECT_FALSE(sq::sim::parse_fault_spec("fail:1@1 +2").ok);
+  EXPECT_FALSE(sq::sim::parse_fault_spec("fail: 1@1").ok);
+  EXPECT_FALSE(sq::runtime::parse_jobs_spec("alpha :4").ok);
+  EXPECT_FALSE(sq::runtime::parse_jobs_spec("alpha:4 8").ok);
+  EXPECT_FALSE(sq::elastic::parse_membership_spec("join:2xT4@ 1").ok);
+  EXPECT_FALSE(sq::elastic::parse_membership_spec("price:T4 =1.5@2").ok);
 }
 
 }  // namespace
